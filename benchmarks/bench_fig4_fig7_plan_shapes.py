@@ -1,0 +1,44 @@
+"""Experiment E1/E2 — Fig. 4 vs. Fig. 7: stacked plan vs. isolated plan for Q1.
+
+The paper contrasts the tall stacked plan the compositional compiler emits
+(joins, δ and ϱ scattered everywhere, Fig. 4) with the isolated plan (a
+single δ in the tail over a three-fold self-join of doc, Fig. 7).  This
+bench reproduces both plans, reports their operator inventories and times
+the isolation rewriting itself.
+"""
+
+from repro.algebra.dag import count_operators, operator_histogram
+from repro.algebra.operators import Distinct, DocTable, Join, RowRank
+from repro.algebra.render import plan_summary, render_plan
+from repro.bench.workloads import query_by_name
+from repro.core.rewriter import isolate
+from repro.xquery.compiler import compile_query
+
+from conftest import write_artifact
+
+Q1 = query_by_name("Q1").xquery
+
+
+def test_fig4_fig7_plan_shapes(benchmark):
+    stacked = compile_query(Q1)
+    isolated, report = benchmark(lambda: isolate(compile_query(Q1)))
+    stacked_histogram = operator_histogram(stacked)
+    isolated_histogram = operator_histogram(isolated)
+    lines = [
+        "Fig. 4 vs Fig. 7 — plan shapes for Q1",
+        f"stacked : {plan_summary(stacked)}",
+        f"isolated: {plan_summary(isolated)}",
+        "",
+        "isolated plan (cf. Fig. 7):",
+        render_plan(isolated),
+    ]
+    artifact = "\n".join(lines)
+    write_artifact("fig4_fig7_plan_shapes.txt", artifact)
+    print("\n" + artifact)
+    # Shape assertions from the paper: blocking operators collapse into the
+    # tail, the join bundle is the three-fold self-join of doc.
+    assert stacked_histogram["Join"] >= 5 and stacked_histogram["Distinct"] >= 3
+    assert count_operators(isolated, Join) == 2
+    assert count_operators(isolated, Distinct) <= 1
+    assert count_operators(isolated, RowRank) <= 1
+    assert count_operators(isolated, DocTable) == 1

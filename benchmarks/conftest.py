@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+The scale factor is deliberately laptop-sized (the paper uses a 110 MB XMark
+instance and a 400 MB DBLP instance; we default to a few tens of thousands
+of nodes).  Set ``REPRO_BENCH_SCALE`` to a float to run larger instances.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.workloads import build_dblp_dataset, build_xmark_dataset
+from repro.core.pipeline import XQueryProcessor
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+BUDGET_SECONDS = float(os.environ.get("REPRO_BENCH_BUDGET", "30"))
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_artifact(name: str, content: str) -> None:
+    """Persist a reproduced table / figure under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(content)
+
+
+@pytest.fixture(scope="session")
+def xmark_dataset():
+    return build_xmark_dataset(scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def dblp_dataset():
+    return build_dblp_dataset(scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def xmark_processor(xmark_dataset):
+    return XQueryProcessor(xmark_dataset.encoding, default_document=xmark_dataset.uri)
+
+
+@pytest.fixture(scope="session")
+def dblp_processor(dblp_dataset):
+    return XQueryProcessor(dblp_dataset.encoding, default_document=dblp_dataset.uri)

@@ -1,0 +1,45 @@
+"""Reproduction of *XQuery Join Graph Isolation* (Grust, Mayr, Rittinger, ICDE 2009).
+
+The package is organised as follows:
+
+``repro.xmldb``
+    XML substrate: parser, infoset model, the ``pre|size|level|kind|name|value|data``
+    document encoding of Section II-A, XPath axis semantics, and synthetic
+    XMark / DBLP document generators.
+
+``repro.algebra``
+    The table algebra of Table I (logical operators, plan DAGs, a reference
+    interpreter that evaluates any plan over in-memory tables, and plan
+    rendering).
+
+``repro.xquery``
+    XQuery front-end for the fragment of Fig. 1 (lexer, parser, XQuery Core
+    normalization, and the loop-lifting compiler of Fig. 13).
+
+``repro.core``
+    The paper's contribution: plan property inference (Tables II-V), the
+    rewrite rules (1)-(17) of Fig. 5, the goal-directed join graph isolation
+    rewriter, join-graph extraction, SQL emission, and the end-to-end
+    pipeline.
+
+``repro.relational``
+    The relational back-end standing in for IBM DB2 V9: tables, B-tree
+    indexes, statistics, a SQL parser, a cost-based optimizer with access
+    path selection and join ordering, physical operators, an index advisor,
+    and a query engine facade.
+
+``repro.purexml``
+    The navigational baseline standing in for DB2 pureXML: XML column
+    storage (whole / segmented), XMLPATTERN value indexes, and a
+    TurboXPath-style XISCAN/XSCAN evaluator.
+
+``repro.bench``
+    Workloads (Q1-Q6), dataset builders, and reporting helpers used by the
+    benchmark harness under ``benchmarks/``.
+"""
+
+from repro.core.pipeline import CompilationResult, XQueryProcessor
+
+__all__ = ["XQueryProcessor", "CompilationResult", "__version__"]
+
+__version__ = "0.1.0"

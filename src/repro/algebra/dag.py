@@ -1,0 +1,128 @@
+"""Traversal and reconstruction utilities for plan DAGs.
+
+Plan operators are immutable and shared, so "modifying" a plan means
+rebuilding the spine from the changed node up to the root while preserving
+sharing everywhere else.  The helpers here implement exactly that, plus the
+reachability relation ``⇛`` the rewrite rules of Fig. 5 consult.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping, Optional, Type
+
+from repro.algebra.operators import Operator
+
+
+def iter_nodes(root: Operator) -> Iterator[Operator]:
+    """Yield every distinct node of the DAG rooted at ``root`` (post-order).
+
+    Implemented iteratively so that very deep (pathological) plans cannot hit
+    Python's recursion limit.
+    """
+    seen: set[int] = set()
+    stack: list[tuple[Operator, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            yield node
+            continue
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.append((node, True))
+        for child in reversed(node.children):
+            if id(child) not in seen:
+                stack.append((child, False))
+
+
+def topological_order(root: Operator) -> list[Operator]:
+    """All distinct nodes, children before parents."""
+    return list(iter_nodes(root))
+
+
+def node_count(root: Operator) -> int:
+    """Number of distinct operators in the plan."""
+    return sum(1 for _ in iter_nodes(root))
+
+
+def count_operators(root: Operator, operator_type: Type[Operator]) -> int:
+    """Number of distinct operators of the given type in the plan."""
+    return sum(1 for node in iter_nodes(root) if isinstance(node, operator_type))
+
+
+def operator_histogram(root: Operator) -> dict[str, int]:
+    """Histogram of operator class names — used by the plan-shape experiments."""
+    histogram: dict[str, int] = {}
+    for node in iter_nodes(root):
+        name = type(node).__name__
+        histogram[name] = histogram.get(name, 0) + 1
+    return histogram
+
+
+def parents_map(root: Operator) -> dict[int, list[Operator]]:
+    """Map ``id(node) -> list of parent nodes`` for the DAG rooted at ``root``."""
+    parents: dict[int, list[Operator]] = {id(node): [] for node in iter_nodes(root)}
+    for node in iter_nodes(root):
+        for child in node.children:
+            parents[id(child)].append(node)
+    return parents
+
+
+def reaches(source: Operator, target: Operator) -> bool:
+    """The reachability relation ``source ⇛ target`` (true also when identical)."""
+    if source is target:
+        return True
+    return any(target is node for node in iter_nodes(source))
+
+
+def substitute(root: Operator, replacements: Mapping[int, Operator]) -> Operator:
+    """Rebuild the DAG with ``replacements`` (keyed by ``id`` of the old node).
+
+    Sharing is preserved: every untouched node is reused as-is, and every
+    reference to a replaced node sees the same replacement object.  The
+    replacement subtree is spliced in verbatim — it may legitimately contain
+    the replaced node itself (rules such as (8) wrap the matched operator),
+    so no substitution is performed *inside* a replacement.
+    """
+    memo: dict[int, Operator] = {}
+
+    def rebuild(node: Operator) -> Operator:
+        if id(node) in memo:
+            return memo[id(node)]
+        if id(node) in replacements:
+            replacement = replacements[id(node)]
+            memo[id(node)] = replacement
+            return replacement
+        new_children = [rebuild(child) for child in node.children]
+        if all(new is old for new, old in zip(new_children, node.children)):
+            memo[id(node)] = node
+            return node
+        rebuilt = node.with_children(new_children)
+        memo[id(node)] = rebuilt
+        return rebuilt
+
+    return rebuild(root)
+
+
+def replace_node(root: Operator, old: Operator, new: Operator) -> Operator:
+    """Replace one node of the DAG (all references to it) and return the new root."""
+    return substitute(root, {id(old): new})
+
+
+def find_nodes(root: Operator, match: Callable[[Operator], bool]) -> list[Operator]:
+    """All distinct nodes satisfying ``match``, in post-order."""
+    return [node for node in iter_nodes(root) if match(node)]
+
+
+def find_first(root: Operator, match: Callable[[Operator], bool]) -> Optional[Operator]:
+    """The first node (post-order) satisfying ``match``, or ``None``."""
+    for node in iter_nodes(root):
+        if match(node):
+            return node
+    return None
+
+
+def shared_nodes(root: Operator) -> list[Operator]:
+    """All nodes referenced by more than one parent (the DAG's sharing points)."""
+    parents = parents_map(root)
+    return [node for node in iter_nodes(root) if len(parents[id(node)]) > 1]

@@ -1,0 +1,187 @@
+"""Reference interpreter for table algebra plans.
+
+The interpreter evaluates a plan DAG bottom-up, **materialising every
+operator's result** — including each δ and ϱ — just like the staged
+execution the paper observes when DB2 evaluates the stacked common table
+expression translation ("numerous SORT primitives followed by temporary
+table scans").  It therefore doubles as
+
+* the executable semantics of the algebra (tests compare the rewritten
+  plan's results against it), and
+* the *stacked plan* configuration of the Table IX experiment.
+
+Shared sub-plans are evaluated once (memoised by node identity), matching
+the behaviour of a common table expression.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.errors import ExecutionError, QueryTimeoutError
+from repro.algebra.operators import (
+    Attach,
+    Cross,
+    Distinct,
+    DocTable,
+    Join,
+    LiteralTable,
+    Operator,
+    Project,
+    RowId,
+    RowRank,
+    Select,
+    Serialize,
+)
+from repro.algebra.predicates import ColumnRef, Comparison, Predicate
+from repro.algebra.table import Table
+
+
+class PlanInterpreter:
+    """Evaluate plan DAGs against a ``doc`` table.
+
+    Parameters
+    ----------
+    doc_table:
+        The XML infoset encoding as a :class:`~repro.algebra.table.Table`
+        with the ``pre|size|level|kind|name|value|data`` schema.
+    timeout_seconds:
+        Optional execution budget; exceeding it raises
+        :class:`~repro.errors.QueryTimeoutError` (the paper's "DNF").
+    """
+
+    def __init__(self, doc_table: Table, timeout_seconds: Optional[float] = None):
+        self.doc_table = doc_table
+        self.timeout_seconds = timeout_seconds
+        self._deadline: Optional[float] = None
+        self._memo: dict[int, Table] = {}
+        #: Number of operator evaluations performed (for plan-shape metrics).
+        self.operators_evaluated = 0
+        #: Total number of intermediate rows materialised.
+        self.rows_materialised = 0
+
+    # -- public API -------------------------------------------------------------
+
+    def evaluate(self, plan: Operator) -> Table:
+        """Evaluate ``plan`` and return its result table."""
+        self._memo = {}
+        self.operators_evaluated = 0
+        self.rows_materialised = 0
+        if self.timeout_seconds is not None:
+            self._deadline = time.perf_counter() + self.timeout_seconds
+        else:
+            self._deadline = None
+        return self._evaluate(plan)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def _check_deadline(self) -> None:
+        if self._deadline is not None and time.perf_counter() > self._deadline:
+            elapsed = self.timeout_seconds + (time.perf_counter() - self._deadline)
+            raise QueryTimeoutError(self.timeout_seconds or 0.0, elapsed)
+
+    def _evaluate(self, node: Operator) -> Table:
+        if id(node) in self._memo:
+            return self._memo[id(node)]
+        self._check_deadline()
+        result = self._dispatch(node)
+        self.operators_evaluated += 1
+        self.rows_materialised += len(result)
+        self._memo[id(node)] = result
+        return result
+
+    def _dispatch(self, node: Operator) -> Table:
+        if isinstance(node, DocTable):
+            return self.doc_table
+        if isinstance(node, LiteralTable):
+            return Table(node.columns, node.rows)
+        if isinstance(node, Serialize):
+            return self._evaluate(node.child)
+        if isinstance(node, Project):
+            return self._evaluate(node.child).project(node.items)
+        if isinstance(node, Select):
+            table = self._evaluate(node.child)
+            return table.select(node.predicate.evaluate)
+        if isinstance(node, Distinct):
+            return self._evaluate(node.child).distinct()
+        if isinstance(node, Attach):
+            return self._evaluate(node.child).attach(node.column, node.value)
+        if isinstance(node, RowId):
+            return self._evaluate(node.child).attach_row_ids(node.column)
+        if isinstance(node, RowRank):
+            return self._evaluate(node.child).attach_rank(node.column, node.order_by)
+        if isinstance(node, Cross):
+            return self._evaluate(node.left).cross(self._evaluate(node.right))
+        if isinstance(node, Join):
+            return self._join(node)
+        raise ExecutionError(f"cannot evaluate operator {type(node).__name__}")
+
+    # -- join evaluation ----------------------------------------------------------
+
+    def _join(self, node: Join) -> Table:
+        left = self._evaluate(node.left)
+        right = self._evaluate(node.right)
+        equi, residual = _split_equijoin_conjuncts(node.predicate, left.columns, right.columns)
+        output_columns = left.columns + right.columns
+        rows: list[tuple] = []
+        if equi:
+            left_keys = [left.column_index(name) for name, _ in equi]
+            right_keys = [right.column_index(name) for _, name in equi]
+            buckets: dict[tuple, list[tuple]] = {}
+            for row in right.rows:
+                key = tuple(row[index] for index in right_keys)
+                buckets.setdefault(key, []).append(row)
+            for left_row in left.rows:
+                self._check_deadline()
+                key = tuple(left_row[index] for index in left_keys)
+                for right_row in buckets.get(key, ()):
+                    combined = left_row + right_row
+                    if self._residual_holds(residual, output_columns, combined):
+                        rows.append(combined)
+        else:
+            for left_row in left.rows:
+                self._check_deadline()
+                for right_row in right.rows:
+                    combined = left_row + right_row
+                    if node.predicate.evaluate(dict(zip(output_columns, combined))):
+                        rows.append(combined)
+        return Table(output_columns, rows)
+
+    @staticmethod
+    def _residual_holds(
+        residual: list[Comparison], columns: tuple[str, ...], combined: tuple
+    ) -> bool:
+        if not residual:
+            return True
+        row = dict(zip(columns, combined))
+        return all(conjunct.evaluate(row) for conjunct in residual)
+
+
+def _split_equijoin_conjuncts(
+    predicate: Predicate, left_columns: tuple[str, ...], right_columns: tuple[str, ...]
+) -> tuple[list[tuple[str, str]], list[Comparison]]:
+    """Split a join predicate into hashable ``left = right`` pairs and the rest."""
+    left_set = set(left_columns)
+    right_set = set(right_columns)
+    equi: list[tuple[str, str]] = []
+    residual: list[Comparison] = []
+    for conjunct in predicate.conjuncts:
+        if conjunct.is_column_equality():
+            left_name = conjunct.left.name  # type: ignore[union-attr]
+            right_name = conjunct.right.name  # type: ignore[union-attr]
+            if left_name in left_set and right_name in right_set:
+                equi.append((left_name, right_name))
+                continue
+            if right_name in left_set and left_name in right_set:
+                equi.append((right_name, left_name))
+                continue
+        residual.append(conjunct)
+    return equi, residual
+
+
+def evaluate_plan(
+    plan: Operator, doc_table: Table, timeout_seconds: Optional[float] = None
+) -> Table:
+    """Convenience wrapper: evaluate ``plan`` against ``doc_table``."""
+    return PlanInterpreter(doc_table, timeout_seconds=timeout_seconds).evaluate(plan)

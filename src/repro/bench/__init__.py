@@ -1,0 +1,27 @@
+"""Benchmark workloads, dataset builders and reporting helpers.
+
+The actual pytest-benchmark entry points live under ``benchmarks/``; this
+package holds the reusable pieces: the paper's query set Q1-Q6
+(:mod:`workloads`), dataset construction, the timing/timeout runner and the
+table/figure reporters (:mod:`runner`).
+"""
+
+from repro.bench.workloads import (
+    BenchmarkDataset,
+    BenchmarkQuery,
+    WORKLOAD,
+    build_dblp_dataset,
+    build_xmark_dataset,
+)
+from repro.bench.runner import ConfigurationTiming, TableNineRow, run_table_nine_row
+
+__all__ = [
+    "BenchmarkDataset",
+    "BenchmarkQuery",
+    "ConfigurationTiming",
+    "TableNineRow",
+    "WORKLOAD",
+    "build_dblp_dataset",
+    "build_xmark_dataset",
+    "run_table_nine_row",
+]

@@ -1,0 +1,233 @@
+"""End-to-end XQuery processing pipeline.
+
+:class:`XQueryProcessor` ties all the pieces together, mirroring the setup
+of the paper's evaluation:
+
+1. parse + normalize + loop-lift an XQuery expression into the stacked plan
+   (Fig. 4),
+2. run join graph isolation (Section III) to obtain the isolated plan
+   (Fig. 7) and the SQL join graph (Fig. 8 / Fig. 9),
+3. execute either
+   * the **stacked** plan with the algebra interpreter (the configuration the
+     paper labels "stacked" in Table IX), or
+   * the **join graph** through the relational back-end with its B-tree
+     indexes and cost-based planner (the "join graph" configuration).
+
+Both executions return the result node sequence as ``pre`` ranks, which can
+be serialized back to XML text via :mod:`repro.xmldb.serializer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import JoinGraphError
+from repro.algebra.interpreter import PlanInterpreter
+from repro.algebra.operators import Serialize
+from repro.algebra.table import Table
+from repro.core.joingraph import JoinGraph, extract_join_graph
+from repro.core.rewriter import IsolationReport, JoinGraphIsolation
+from repro.core.sqlgen import generate_stacked_sql, render_join_graph
+from repro.relational.catalog import Database, database_from_encoding
+from repro.relational.engine import QueryResult, RelationalEngine
+from repro.xmldb.encoding import DOC_COLUMNS, DocumentEncoding
+from repro.xquery.ast import Expression, render
+from repro.xquery.compiler import CompilerSettings, LoopLiftingCompiler
+from repro.xquery.normalize import normalize
+from repro.xquery.parser import parse_xquery
+
+
+@dataclass
+class CompilationResult:
+    """Everything the compiler + isolation produce for one query."""
+
+    source: str
+    surface_ast: Expression
+    core_ast: Expression
+    stacked_plan: Serialize
+    isolated_plan: Serialize
+    isolation_report: IsolationReport
+    join_graph: Optional[JoinGraph]
+    join_graph_sql: Optional[str]
+    stacked_sql: str
+    join_graph_error: Optional[str] = None
+
+    def core_text(self) -> str:
+        """The normalized XQuery Core rendering (cf. Section II-D)."""
+        return render(self.core_ast)
+
+
+@dataclass
+class ExecutionOutcome:
+    """Result of executing one query in one configuration."""
+
+    items: list[int]
+    configuration: str
+    rows_scanned: int = 0
+    details: object = None
+
+    @property
+    def node_count(self) -> int:
+        return len(self.items)
+
+
+class XQueryProcessor:
+    """A purely relational XQuery processor over one document encoding."""
+
+    def __init__(
+        self,
+        encoding: DocumentEncoding,
+        default_document: Optional[str] = None,
+        with_default_indexes: bool = True,
+        add_serialization_step: bool = False,
+        database: Optional[Database] = None,
+    ):
+        self.encoding = encoding
+        self.default_document = default_document or (
+            encoding.document_uris()[0] if encoding.document_uris() else None
+        )
+        self.add_serialization_step = add_serialization_step
+        self.doc_table = Table(DOC_COLUMNS, encoding.rows())
+        self.database = database or database_from_encoding(
+            encoding, with_default_indexes=with_default_indexes
+        )
+        self.engine = RelationalEngine(self.database)
+        self._compilation_cache: dict[str, CompilationResult] = {}
+
+    # -- compilation -----------------------------------------------------------------
+
+    def compile(self, source: str, isolation: Optional[JoinGraphIsolation] = None) -> CompilationResult:
+        """Parse, normalize, loop-lift and isolate ``source``."""
+        cache_key = source if isolation is None else None
+        if cache_key and cache_key in self._compilation_cache:
+            return self._compilation_cache[cache_key]
+        surface = parse_xquery(source)
+        core = normalize(surface, default_document=self.default_document)
+        compiler = LoopLiftingCompiler(
+            CompilerSettings(
+                add_serialization_step=self.add_serialization_step,
+                default_document=self.default_document,
+            )
+        )
+        stacked = compiler.compile(core)
+        isolated, report = (isolation or JoinGraphIsolation()).isolate(stacked)
+        join_graph: Optional[JoinGraph] = None
+        join_graph_sql: Optional[str] = None
+        join_graph_error: Optional[str] = None
+        try:
+            join_graph = extract_join_graph(isolated)
+            join_graph_sql = render_join_graph(join_graph)
+        except JoinGraphError as error:
+            join_graph_error = str(error)
+        result = CompilationResult(
+            source=source,
+            surface_ast=surface,
+            core_ast=core,
+            stacked_plan=stacked,
+            isolated_plan=isolated,
+            isolation_report=report,
+            join_graph=join_graph,
+            join_graph_sql=join_graph_sql,
+            stacked_sql=generate_stacked_sql(stacked),
+            join_graph_error=join_graph_error,
+        )
+        if cache_key:
+            self._compilation_cache[cache_key] = result
+        return result
+
+    # -- execution --------------------------------------------------------------------
+
+    def execute_stacked(
+        self, source: str, timeout_seconds: Optional[float] = None
+    ) -> ExecutionOutcome:
+        """Evaluate the *unrewritten* stacked plan with the algebra interpreter."""
+        compilation = self.compile(source)
+        interpreter = PlanInterpreter(self.doc_table, timeout_seconds=timeout_seconds)
+        table = interpreter.evaluate(compilation.stacked_plan)
+        return ExecutionOutcome(
+            items=self._items_from_table(table),
+            configuration="stacked",
+            rows_scanned=interpreter.rows_materialised,
+        )
+
+    def execute_isolated_interpreted(
+        self, source: str, timeout_seconds: Optional[float] = None
+    ) -> ExecutionOutcome:
+        """Evaluate the isolated plan with the algebra interpreter (sanity path)."""
+        compilation = self.compile(source)
+        interpreter = PlanInterpreter(self.doc_table, timeout_seconds=timeout_seconds)
+        table = interpreter.evaluate(compilation.isolated_plan)
+        return ExecutionOutcome(
+            items=self._items_from_table(table),
+            configuration="isolated-interpreted",
+            rows_scanned=interpreter.rows_materialised,
+        )
+
+    def execute_join_graph(
+        self, source: str, timeout_seconds: Optional[float] = None
+    ) -> ExecutionOutcome:
+        """Plan + execute the SQL join graph on the relational back-end."""
+        compilation = self.compile(source)
+        if compilation.join_graph is None:
+            raise JoinGraphError(
+                compilation.join_graph_error or "the query has no isolated join graph"
+            )
+        result: QueryResult = self.engine.execute(
+            compilation.join_graph, timeout_seconds=timeout_seconds
+        )
+        return ExecutionOutcome(
+            items=[item for item in result.items()],
+            configuration="join-graph",
+            rows_scanned=result.rows_scanned,
+            details=result,
+        )
+
+    def execute(self, source: str, timeout_seconds: Optional[float] = None) -> ExecutionOutcome:
+        """Execute with the best available strategy (join graph, else stacked)."""
+        compilation = self.compile(source)
+        if compilation.join_graph is not None:
+            return self.execute_join_graph(source, timeout_seconds)
+        return self.execute_stacked(source, timeout_seconds)
+
+    def explain(self, source: str) -> str:
+        """The relational back-end's execution plan for the query's join graph."""
+        compilation = self.compile(source)
+        if compilation.join_graph is None:
+            raise JoinGraphError(
+                compilation.join_graph_error or "the query has no isolated join graph"
+            )
+        return self.engine.explain(compilation.join_graph)
+
+    def serialize(self, items: list[int], separator: str = "") -> str:
+        """Serialize a result node sequence back to XML text."""
+        from repro.xmldb.serializer import serialize_sequence
+
+        return serialize_sequence(self.encoding, items, separator)
+
+    # -- helpers -----------------------------------------------------------------------
+
+    @staticmethod
+    def _items_from_table(table: Table) -> list[int]:
+        item_index = table.column_index("item")
+        pos_index = table.column_index("pos") if "pos" in table.columns else None
+        rows = table.rows
+        if pos_index is not None:
+            rows = sorted(rows, key=lambda row: (_sortable(row[pos_index]), _sortable(row[item_index])))
+        seen: set[object] = set()
+        items: list[int] = []
+        for row in rows:
+            value = row[item_index]
+            if value in seen:
+                continue
+            seen.add(value)
+            items.append(value)  # type: ignore[arg-type]
+        return items
+
+
+def _sortable(value: object) -> tuple:
+    if value is None:
+        return (0, 0)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (1, value)
+    return (2, str(value))

@@ -1,0 +1,285 @@
+"""Plan property inference (Tables II-V of the paper).
+
+For every operator of a plan DAG four properties are inferred:
+
+``icols``
+    The set of input columns strictly required by the operator's upstream
+    plan (top-down, seeded with ``{pos, item}`` at the serialization point,
+    accumulated over all parents).
+
+``const``
+    The set of ``column = constant`` facts that hold for every output row
+    (bottom-up).
+
+``key``
+    The set of candidate keys of the operator's output (bottom-up).
+
+``set``
+    Whether the operator's output rows are subject to duplicate elimination
+    further up on *every* path to the root (top-down, seeded ``False`` at
+    the root, conjunctively accumulated).
+
+The rewrite rules of :mod:`repro.core.rules` consult these properties
+through a :class:`PlanProperties` snapshot; the snapshot is recomputed after
+every rewrite step (the plans are small enough — a few hundred operators —
+for this to be cheap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.algebra.dag import iter_nodes, topological_order
+from repro.algebra.operators import (
+    Attach,
+    Cross,
+    Distinct,
+    DocTable,
+    Join,
+    LiteralTable,
+    Operator,
+    Project,
+    RowId,
+    RowRank,
+    Select,
+    Serialize,
+)
+
+#: Seed of ``icols`` at the serialization point: the two columns needed to
+#: represent and serialize the resulting XML node sequence.
+SERIALIZE_ICOLS = frozenset({"pos", "item"})
+
+
+@dataclass
+class NodeProperties:
+    """The four inferred properties of one operator."""
+
+    icols: frozenset[str] = frozenset()
+    const: dict[str, object] = field(default_factory=dict)
+    keys: frozenset[frozenset[str]] = frozenset()
+    set: bool = True
+
+
+class PlanProperties:
+    """A property snapshot for every operator of one plan DAG."""
+
+    def __init__(self, root: Operator):
+        self.root = root
+        self._by_node: dict[int, NodeProperties] = {}
+        self._infer()
+
+    # -- public accessors --------------------------------------------------------
+
+    def of(self, node: Operator) -> NodeProperties:
+        return self._by_node[id(node)]
+
+    def icols(self, node: Operator) -> frozenset[str]:
+        return self._by_node[id(node)].icols
+
+    def const(self, node: Operator) -> dict[str, object]:
+        return self._by_node[id(node)].const
+
+    def keys(self, node: Operator) -> frozenset[frozenset[str]]:
+        return self._by_node[id(node)].keys
+
+    def is_set(self, node: Operator) -> bool:
+        return self._by_node[id(node)].set
+
+    def has_key_within(self, node: Operator, columns: frozenset[str]) -> bool:
+        """True when some candidate key of ``node`` is contained in ``columns``."""
+        return any(key <= columns for key in self.keys(node))
+
+    # -- inference ----------------------------------------------------------------
+
+    def _infer(self) -> None:
+        order = topological_order(self.root)
+        for node in order:
+            self._by_node[id(node)] = NodeProperties()
+        # Bottom-up: const and key.
+        for node in order:
+            properties = self._by_node[id(node)]
+            properties.const = _infer_const(node, self._by_node)
+            properties.keys = _infer_keys(node, self._by_node)
+        # Top-down: icols and set.  Parents appear after children in the
+        # topological order, so walk it in reverse.
+        root_properties = self._by_node[id(self.root)]
+        root_properties.set = False
+        if isinstance(self.root, Serialize):
+            root_properties.icols = SERIALIZE_ICOLS & frozenset(self.root.columns)
+            if not root_properties.icols:
+                root_properties.icols = frozenset(self.root.columns)
+        else:
+            root_properties.icols = frozenset(self.root.columns)
+        for node in reversed(order):
+            self._propagate_down(node)
+
+    def _propagate_down(self, node: Operator) -> None:
+        properties = self._by_node[id(node)]
+        for position, child in enumerate(node.children):
+            child_properties = self._by_node[id(child)]
+            child_properties.icols = child_properties.icols | _child_icols(
+                node, position, child, properties.icols
+            )
+            child_properties.set = child_properties.set and _child_set(node, properties.set)
+
+
+def infer_properties(root: Operator) -> PlanProperties:
+    """Infer all four plan properties for the DAG rooted at ``root``."""
+    return PlanProperties(root)
+
+
+# ---------------------------------------------------------------------------
+# const (Table III)
+# ---------------------------------------------------------------------------
+
+
+def _infer_const(node: Operator, by_node: dict[int, "NodeProperties"]) -> dict[str, object]:
+    if isinstance(node, DocTable):
+        return {}
+    if isinstance(node, LiteralTable):
+        constants: dict[str, object] = {}
+        for index, column in enumerate(node.columns):
+            values = {row[index] for row in node.rows}
+            if len(values) == 1:
+                constants[column] = next(iter(values))
+        return constants
+    if isinstance(node, (Serialize, Select, Distinct, RowId, RowRank)):
+        return dict(by_node[id(node.children[0])].const)
+    if isinstance(node, Project):
+        child_const = by_node[id(node.child)].const
+        return {new: child_const[old] for new, old in node.items if old in child_const}
+    if isinstance(node, Attach):
+        constants = dict(by_node[id(node.child)].const)
+        constants[node.column] = node.value
+        return constants
+    if isinstance(node, (Join, Cross)):
+        combined = dict(by_node[id(node.children[0])].const)
+        combined.update(by_node[id(node.children[1])].const)
+        return combined
+    return {}
+
+
+# ---------------------------------------------------------------------------
+# key (Table IV)
+# ---------------------------------------------------------------------------
+
+
+def _infer_keys(node: Operator, by_node: dict[int, "NodeProperties"]) -> frozenset[frozenset[str]]:
+    if isinstance(node, DocTable):
+        return frozenset({frozenset({"pre"})})
+    if isinstance(node, LiteralTable):
+        return _literal_table_keys(node)
+    if isinstance(node, (Serialize, Select)):
+        return by_node[id(node.children[0])].keys
+    if isinstance(node, Project):
+        return _project_keys(node, by_node[id(node.child)].keys)
+    if isinstance(node, Distinct):
+        return by_node[id(node.child)].keys | frozenset({frozenset(node.child.columns)})
+    if isinstance(node, Attach):
+        return by_node[id(node.child)].keys
+    if isinstance(node, RowId):
+        return by_node[id(node.child)].keys | frozenset({frozenset({node.column})})
+    if isinstance(node, RowRank):
+        return _rank_keys(node, by_node[id(node.child)].keys)
+    if isinstance(node, Join):
+        return _join_keys(node, by_node)
+    if isinstance(node, Cross):
+        left = by_node[id(node.children[0])].keys
+        right = by_node[id(node.children[1])].keys
+        return frozenset({k1 | k2 for k1 in left for k2 in right})
+    return frozenset()
+
+
+def _literal_table_keys(node: LiteralTable) -> frozenset[frozenset[str]]:
+    keys: set[frozenset[str]] = set()
+    for index, column in enumerate(node.columns):
+        values = [row[index] for row in node.rows]
+        if len(values) == len(set(values)):
+            keys.add(frozenset({column}))
+    if len(node.rows) == len(set(node.rows)):
+        keys.add(frozenset(node.columns))
+    return frozenset(keys)
+
+
+def _project_keys(
+    node: Project, child_keys: frozenset[frozenset[str]]
+) -> frozenset[frozenset[str]]:
+    source_columns = frozenset(old for _new, old in node.items)
+    keys: set[frozenset[str]] = set()
+    for key in child_keys:
+        if key <= source_columns:
+            keys.add(frozenset(new for new, old in node.items if old in key))
+    return frozenset(keys)
+
+
+def _rank_keys(node: RowRank, child_keys: frozenset[frozenset[str]]) -> frozenset[frozenset[str]]:
+    order_columns = frozenset(node.order_by)
+    keys: set[frozenset[str]] = set(child_keys)
+    for key in child_keys:
+        if key & order_columns:
+            keys.add(frozenset({node.column}) | (key - order_columns))
+    return frozenset(keys)
+
+
+def _join_keys(node: Join, by_node: dict[int, "NodeProperties"]) -> frozenset[frozenset[str]]:
+    left, right = node.children
+    left_keys = by_node[id(left)].keys
+    right_keys = by_node[id(right)].keys
+    keys: set[frozenset[str]] = set()
+    predicate = node.predicate
+    if predicate.is_single_column_equality():
+        (a, b) = predicate.column_equalities()[0]
+        # Normalise so that ``a`` belongs to the left input and ``b`` to the right.
+        if a in right.columns and b in left.columns:
+            a, b = b, a
+        right_has_key_b = frozenset({b}) in right_keys
+        left_has_key_a = frozenset({a}) in left_keys
+        if right_has_key_b:
+            keys |= set(left_keys)
+            keys |= {(k1 - {a}) | k2 for k1 in left_keys for k2 in right_keys}
+        if left_has_key_a:
+            keys |= set(right_keys)
+            keys |= {k1 | (k2 - {b}) for k1 in left_keys for k2 in right_keys}
+        if not keys:
+            keys = {k1 | k2 for k1 in left_keys for k2 in right_keys}
+        return frozenset(keys)
+    return frozenset({k1 | k2 for k1 in left_keys for k2 in right_keys})
+
+
+# ---------------------------------------------------------------------------
+# icols (Table II) and set (Table V): contribution of a parent to one child
+# ---------------------------------------------------------------------------
+
+
+def _child_icols(
+    node: Operator, position: int, child: Operator, icols: frozenset[str]
+) -> frozenset[str]:
+    if isinstance(node, Serialize):
+        return SERIALIZE_ICOLS & frozenset(child.columns) or frozenset(child.columns)
+    if isinstance(node, Project):
+        needed = icols & frozenset(node.columns)
+        return frozenset(old for new, old in node.items if new in needed)
+    if isinstance(node, Select):
+        return (icols | node.predicate.columns()) & frozenset(child.columns)
+    if isinstance(node, Join):
+        return (icols | node.predicate.columns()) & frozenset(child.columns)
+    if isinstance(node, Cross):
+        return icols & frozenset(child.columns)
+    if isinstance(node, Distinct):
+        return icols & frozenset(child.columns)
+    if isinstance(node, Attach):
+        return (icols - {node.column}) & frozenset(child.columns)
+    if isinstance(node, RowId):
+        return (icols - {node.column}) & frozenset(child.columns)
+    if isinstance(node, RowRank):
+        return ((icols - {node.column}) | frozenset(node.order_by)) & frozenset(child.columns)
+    return icols & frozenset(child.columns)
+
+
+def _child_set(node: Operator, node_set: bool) -> bool:
+    if isinstance(node, Distinct):
+        return True
+    if isinstance(node, Serialize):
+        return False
+    return node_set

@@ -1,0 +1,151 @@
+"""SQL emission.
+
+Two renderings are provided:
+
+* :func:`generate_join_graph_sql` — the single
+  ``SELECT [DISTINCT] … FROM doc AS d1, … WHERE … ORDER BY …`` block of the
+  isolated join graph (Fig. 8 and Fig. 9 of the paper).
+* :func:`generate_stacked_sql` — a ``WITH``-chain rendering of the
+  *unrewritten* stacked plan, one common table expression per operator,
+  mirroring what Pathfinder ships to the back-end without join graph
+  isolation (Section IV: "a SQL common table expression that features an
+  equally large number of DISTINCT and RANK() OVER (ORDER BY …) clauses").
+  It documents why the stacked configuration behaves the way it does; the
+  benchmark harness executes the stacked plan with the algebra interpreter,
+  which mirrors the staged SORT / temporary-table execution DB2 chooses for
+  this SQL shape.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.dag import iter_nodes
+from repro.algebra.operators import (
+    Attach,
+    Cross,
+    Distinct,
+    DocTable,
+    Join,
+    LiteralTable,
+    Operator,
+    Project,
+    RowId,
+    RowRank,
+    Select,
+    Serialize,
+)
+from repro.algebra.predicates import ColumnRef, Literal, Predicate, Sum
+from repro.core.joingraph import JoinGraph, extract_join_graph
+
+
+def render_join_graph(graph: JoinGraph) -> str:
+    """Render a :class:`JoinGraph` as a single SFW block."""
+    distinct = "DISTINCT " if graph.distinct else ""
+    select_list = ",\n       ".join(
+        f"{term.render()} AS {name}" for term, name in graph.select_items
+    )
+    from_list = ",\n     ".join(f"{graph.table_name} AS {alias}" for alias in graph.aliases)
+    lines = [f"SELECT {distinct}{select_list}", f"FROM {from_list}"]
+    if graph.conditions:
+        where = "\n  AND ".join(condition.render() for condition in graph.conditions)
+        lines.append(f"WHERE {where}")
+    if graph.order_terms:
+        order = ", ".join(term.render() for term in graph.order_terms)
+        lines.append(f"ORDER BY {order}")
+    return "\n".join(lines)
+
+
+def generate_join_graph_sql(plan: Operator, table_name: str = "doc") -> str:
+    """Extract the join graph of an isolated plan and render it as SQL."""
+    graph = plan if isinstance(plan, JoinGraph) else extract_join_graph(plan, table_name)
+    return render_join_graph(graph)
+
+
+# ---------------------------------------------------------------------------
+# Stacked (CTE) rendering of the unrewritten plan
+# ---------------------------------------------------------------------------
+
+
+def _render_predicate_sql(predicate: Predicate, resolve) -> str:
+    def term(t) -> str:
+        if isinstance(t, ColumnRef):
+            return resolve(t.name)
+        if isinstance(t, Literal):
+            if isinstance(t.value, str):
+                return "'" + t.value.replace("'", "''") + "'"
+            return str(t.value)
+        if isinstance(t, Sum):
+            return " + ".join(term(part) for part in t.terms)
+        raise TypeError(f"unexpected predicate term {t!r}")
+
+    return " AND ".join(f"{term(c.left)} {c.op} {term(c.right)}" for c in predicate.conjuncts)
+
+
+def generate_stacked_sql(plan: Operator, table_name: str = "doc") -> str:
+    """Render the (unrewritten) stacked plan as a WITH-chain, one CTE per operator."""
+    names: dict[int, str] = {}
+    definitions: list[str] = []
+
+    def name_of(node: Operator) -> str:
+        return names[id(node)]
+
+    for index, node in enumerate(iter_nodes(plan)):
+        cte = f"t{index}"
+        names[id(node)] = cte
+        definitions.append(f"{cte} AS ({_render_operator(node, name_of, table_name)})")
+    final = names[id(plan)]
+    body = ",\n     ".join(definitions)
+    return f"WITH {body}\nSELECT * FROM {final}"
+
+
+def _render_operator(node: Operator, name_of, table_name: str) -> str:
+    if isinstance(node, DocTable):
+        return f"SELECT * FROM {table_name}"
+    if isinstance(node, LiteralTable):
+        if not node.rows:
+            selects = ", ".join(f"NULL AS {column}" for column in node.columns)
+            return f"SELECT {selects} WHERE 1 = 0"
+        rows = []
+        for row in node.rows:
+            values = ", ".join(
+                f"{_sql_literal(value)} AS {column}" for column, value in zip(node.columns, row)
+            )
+            rows.append(f"SELECT {values}")
+        return " UNION ALL ".join(rows)
+    if isinstance(node, Serialize):
+        return f"SELECT * FROM {name_of(node.child)}"
+    if isinstance(node, Project):
+        items = ", ".join(
+            old if new == old else f"{old} AS {new}" for new, old in node.items
+        )
+        return f"SELECT {items} FROM {name_of(node.child)}"
+    if isinstance(node, Select):
+        predicate = _render_predicate_sql(node.predicate, lambda c: c)
+        return f"SELECT * FROM {name_of(node.child)} WHERE {predicate}"
+    if isinstance(node, Distinct):
+        return f"SELECT DISTINCT * FROM {name_of(node.child)}"
+    if isinstance(node, Attach):
+        return f"SELECT *, {_sql_literal(node.value)} AS {node.column} FROM {name_of(node.child)}"
+    if isinstance(node, RowId):
+        return (
+            f"SELECT *, ROW_NUMBER() OVER () AS {node.column} FROM {name_of(node.child)}"
+        )
+    if isinstance(node, RowRank):
+        order = ", ".join(node.order_by)
+        return (
+            f"SELECT *, RANK() OVER (ORDER BY {order}) AS {node.column} "
+            f"FROM {name_of(node.child)}"
+        )
+    if isinstance(node, Join):
+        predicate = _render_predicate_sql(node.predicate, lambda c: c)
+        return (
+            f"SELECT * FROM {name_of(node.left)}, {name_of(node.right)} WHERE {predicate}"
+        )
+    if isinstance(node, Cross):
+        return f"SELECT * FROM {name_of(node.left)}, {name_of(node.right)}"
+    raise TypeError(f"cannot render operator {type(node).__name__}")
+
+
+def _sql_literal(value: object) -> str:
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return str(value)

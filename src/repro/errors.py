@@ -1,0 +1,93 @@
+"""Exception hierarchy shared by all repro subsystems.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class XMLParseError(ReproError):
+    """Raised when the XML parser encounters malformed input.
+
+    Carries the character offset and (line, column) position of the failure
+    so that callers can produce useful diagnostics.
+    """
+
+    def __init__(self, message: str, offset: int = -1, line: int = -1, column: int = -1):
+        location = ""
+        if line >= 0:
+            location = f" at line {line}, column {column}"
+        super().__init__(message + location)
+        self.offset = offset
+        self.line = line
+        self.column = column
+
+
+class XQuerySyntaxError(ReproError):
+    """Raised by the XQuery lexer / parser on malformed query text."""
+
+    def __init__(self, message: str, position: int = -1):
+        if position >= 0:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class XQueryCompilationError(ReproError):
+    """Raised by the loop-lifting compiler, e.g. for unbound variables."""
+
+
+class AlgebraError(ReproError):
+    """Raised for malformed algebra plans (unknown columns, arity errors)."""
+
+
+class RewriteError(ReproError):
+    """Raised when join graph isolation cannot make progress safely."""
+
+
+class JoinGraphError(ReproError):
+    """Raised when a rewritten plan cannot be cast into a single SFW block."""
+
+
+class SQLSyntaxError(ReproError):
+    """Raised by the SQL parser of the relational back-end."""
+
+    def __init__(self, message: str, position: int = -1):
+        if position >= 0:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class CatalogError(ReproError):
+    """Raised for catalog misuse: unknown/duplicate tables or indexes."""
+
+
+class PlanningError(ReproError):
+    """Raised when the optimizer cannot produce a physical plan."""
+
+
+class ExecutionError(ReproError):
+    """Raised by physical operators or the algebra interpreter at run time."""
+
+
+class QueryTimeoutError(ReproError):
+    """Raised when a query exceeds its execution budget (the paper's DNF)."""
+
+    def __init__(self, budget_seconds: float, elapsed_seconds: float):
+        super().__init__(
+            f"query did not finish within {budget_seconds:.3f}s "
+            f"(aborted after {elapsed_seconds:.3f}s)"
+        )
+        self.budget_seconds = budget_seconds
+        self.elapsed_seconds = elapsed_seconds
+
+
+class PureXMLError(ReproError):
+    """Raised by the pureXML-substitute engine (storage or evaluation)."""

@@ -1,0 +1,15 @@
+"""Navigational baseline standing in for DB2 pureXML™ (Section IV-B).
+
+The engine stores XML documents as per-row node trees (either one
+monolithic document per row — the *whole* setup — or many small segments —
+the *segmented* setup), maintains XMLPATTERN-style value indexes whose
+lookups return row identifiers (XISCAN), and evaluates the XQuery fragment
+by navigating the node trees of the candidate rows (XSCAN, modelled after
+TurboXPath).
+"""
+
+from repro.purexml.engine import PureXMLEngine
+from repro.purexml.pattern_index import XMLPatternIndex
+from repro.purexml.storage import XMLColumnStore, segment_document
+
+__all__ = ["PureXMLEngine", "XMLColumnStore", "XMLPatternIndex", "segment_document"]

@@ -1,0 +1,112 @@
+"""The pureXML-substitute engine: XISCAN (value index) + XSCAN (traversal)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import QueryTimeoutError
+from repro.purexml.pattern_index import XMLPatternIndex
+from repro.purexml.storage import XMLColumnStore
+from repro.purexml.xscan import XScan
+from repro.xmldb.infoset import XMLNode
+from repro.xquery import ast
+from repro.xquery.parser import parse_xquery
+
+
+@dataclass
+class PureXMLResult:
+    """Result of one pureXML evaluation."""
+
+    nodes: list[XMLNode]
+    rows_visited: int
+    used_index: Optional[str] = None
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass
+class PureXMLEngine:
+    """Evaluate the XQuery fragment navigationally over an XML column store."""
+
+    store: XMLColumnStore
+    pattern_indexes: list[XMLPatternIndex] = field(default_factory=list)
+
+    def create_pattern_index(self, pattern: str, as_type: str = "VARCHAR") -> XMLPatternIndex:
+        index = XMLPatternIndex(pattern, as_type).build(self.store)
+        self.pattern_indexes.append(index)
+        return index
+
+    # -- evaluation --------------------------------------------------------------------
+
+    def execute(self, source: str, timeout_seconds: Optional[float] = None) -> PureXMLResult:
+        """Evaluate ``source`` over every candidate row (XISCAN → XSCAN)."""
+        expr = parse_xquery(source)
+        deadline = time.perf_counter() + timeout_seconds if timeout_seconds else None
+        candidate_rids, used_index = self._xiscan(expr)
+        nodes: list[XMLNode] = []
+        visited = 0
+        for rid in sorted(candidate_rids):
+            if deadline is not None and time.perf_counter() > deadline:
+                raise QueryTimeoutError(timeout_seconds or 0.0, time.perf_counter() - (deadline - (timeout_seconds or 0.0)))
+            doc = self.store.rows[rid]
+            visited += 1
+            scan = XScan(doc, deadline)
+            for item in scan.evaluate(expr):
+                if isinstance(item, XMLNode):
+                    nodes.append(item)
+        return PureXMLResult(nodes=nodes, rows_visited=visited, used_index=used_index)
+
+    # -- XISCAN: index eligibility and lookup ---------------------------------------------
+
+    def _xiscan(self, expr: ast.Expression) -> tuple[set[int], Optional[str]]:
+        """Find an eligible value index for a comparison in the query, if any."""
+        all_rids = set(range(len(self.store.rows)))
+        comparison = _find_literal_comparison(expr)
+        if comparison is None or not self.pattern_indexes:
+            return all_rids, None
+        path_text, op, value = comparison
+        for index in self.pattern_indexes:
+            if index.covers(path_text):
+                rids = index.lookup(value) if op == "=" else index.lookup_range(op, value)
+                return rids, index.pattern
+        return all_rids, None
+
+
+def _find_literal_comparison(expr: ast.Expression) -> Optional[tuple[str, str, object]]:
+    """Locate a ``path op literal`` comparison usable for an index lookup."""
+    if isinstance(expr, ast.Comparison):
+        literal = None
+        path = None
+        if isinstance(expr.right, (ast.StringLiteral, ast.NumberLiteral)):
+            literal, path, op = expr.right, expr.left, expr.op
+        elif isinstance(expr.left, (ast.StringLiteral, ast.NumberLiteral)):
+            literal, path, op = expr.left, expr.right, expr.op
+        if literal is not None and isinstance(path, ast.Step):
+            return _path_text(path), op, literal.value
+        return None
+    for child in _children(expr):
+        found = _find_literal_comparison(child)
+        if found is not None:
+            return found
+    return None
+
+
+def _children(expr: ast.Expression) -> tuple[ast.Expression, ...]:
+    from repro.xquery.ast import child_expressions
+
+    return child_expressions(expr)
+
+
+def _path_text(step: ast.Step) -> str:
+    parts: list[str] = []
+    node: ast.Expression = step
+    while isinstance(node, ast.Step):
+        prefix = "@" if node.axis == "attribute" else ""
+        separator = "//" if node.axis in ("descendant", "descendant-or-self") else "/"
+        parts.append(f"{separator}{prefix}{node.node_test}")
+        node = node.input
+    return "".join(reversed(parts))

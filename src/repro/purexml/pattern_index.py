@@ -1,0 +1,117 @@
+"""XMLPATTERN-style value indexes for the pureXML baseline.
+
+A pattern index is declared over a non-branching forward path (descendant /
+child / attribute steps only), e.g. ``/site/people/person/@id``.  Its
+entries map the (typed or string) value of every node selected by that path
+to the identifiers of the rows (documents / segments) containing the node —
+exactly the RID semantics of DB2's XMLPATTERN indexes, which XISCAN then
+feeds into the per-document XSCAN traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.xmldb.infoset import NodeKind, XMLNode
+from repro.purexml.storage import XMLColumnStore
+
+
+def _parse_pattern(pattern: str) -> list[tuple[str, str]]:
+    """Parse ``/a/b//c/@d`` into (axis, test) steps."""
+    steps: list[tuple[str, str]] = []
+    remainder = pattern.strip()
+    while remainder:
+        if remainder.startswith("//"):
+            axis, remainder = "descendant", remainder[2:]
+        elif remainder.startswith("/"):
+            axis, remainder = "child", remainder[1:]
+        else:
+            axis = "child"
+        name, _slash, remainder = remainder.partition("/")
+        if _slash:
+            remainder = "/" + remainder
+        if name.startswith("@"):
+            steps.append(("attribute", name[1:]))
+        elif name:
+            steps.append((axis, name))
+    return steps
+
+
+def _match_step(nodes: Iterable[XMLNode], axis: str, name: str) -> list[XMLNode]:
+    result: list[XMLNode] = []
+    for node in nodes:
+        if axis == "attribute":
+            attribute = node.attribute(name)
+            if attribute is not None:
+                result.append(attribute)
+        elif axis == "child":
+            result.extend(child for child in node.children if child.kind is NodeKind.ELEM and (name == "*" or child.name == name))
+        else:  # descendant
+            for descendant in node.iter_descendants(include_self=False):
+                if descendant.kind is NodeKind.ELEM and (name == "*" or descendant.name == name):
+                    result.append(descendant)
+    return result
+
+
+@dataclass
+class XMLPatternIndex:
+    """A value index over one XMLPATTERN path."""
+
+    pattern: str
+    as_type: str = "VARCHAR"  # or "DOUBLE"
+    entries: dict[object, set[int]] = field(default_factory=dict)
+
+    def build(self, store: XMLColumnStore) -> "XMLPatternIndex":
+        steps = _parse_pattern(self.pattern)
+        for rid, doc in enumerate(store.rows):
+            roots = [child for child in doc.children if child.kind is NodeKind.ELEM]
+            nodes: list[XMLNode] = roots
+            if steps and steps[0][1] == (roots[0].name if roots else None) and steps[0][0] == "child":
+                nodes, remaining = roots, steps[1:]
+            else:
+                remaining = steps
+                # Absolute patterns over segmented stores still start at the root shells.
+            for axis, name in remaining:
+                nodes = _match_step(nodes, axis, name)
+            for node in nodes:
+                value: object = node.string_value()
+                if self.as_type == "DOUBLE":
+                    typed = node.typed_decimal()
+                    if typed is None:
+                        continue
+                    value = typed
+                self.entries.setdefault(value, set()).add(rid)
+        return self
+
+    # -- XISCAN -----------------------------------------------------------------------
+
+    def lookup(self, value: object) -> set[int]:
+        """Equality lookup: the RIDs of rows containing a matching node."""
+        return set(self.entries.get(value, set()))
+
+    def lookup_range(self, op: str, value: object) -> set[int]:
+        """Range lookup (``<``, ``<=``, ``>``, ``>=``) over the indexed values."""
+        rids: set[int] = set()
+        for candidate, candidate_rids in self.entries.items():
+            try:
+                if op == "<" and candidate < value:  # type: ignore[operator]
+                    rids |= candidate_rids
+                elif op == "<=" and candidate <= value:  # type: ignore[operator]
+                    rids |= candidate_rids
+                elif op == ">" and candidate > value:  # type: ignore[operator]
+                    rids |= candidate_rids
+                elif op == ">=" and candidate >= value:  # type: ignore[operator]
+                    rids |= candidate_rids
+                elif op == "=" and candidate == value:
+                    rids |= candidate_rids
+            except TypeError:
+                continue
+        return rids
+
+    def covers(self, path: str) -> bool:
+        """Crude index-eligibility check: does this index's pattern end like ``path``?"""
+        normalized = path.replace("descendant::", "//").replace("child::", "/").replace(
+            "attribute::", "/@"
+        )
+        return self.pattern.endswith(normalized.split("//")[-1]) or self.pattern == normalized

@@ -1,0 +1,210 @@
+"""XSCAN: navigational evaluation of the XQuery fragment over node trees.
+
+This is the TurboXPath-style tree traversal the pureXML baseline performs on
+every candidate row after the (optional) XISCAN index lookup.  It evaluates
+the same AST the relational pipeline uses, but directly over
+:class:`~repro.xmldb.infoset.XMLNode` trees — no encoding, no joins.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.errors import PureXMLError, QueryTimeoutError
+from repro.xmldb.infoset import NodeKind, XMLNode
+from repro.xquery import ast
+
+
+class XScan:
+    """Evaluate one (surface or core) XQuery AST over one document tree."""
+
+    def __init__(self, doc: XMLNode, deadline: Optional[float] = None):
+        self.doc = doc
+        self.deadline = deadline
+
+    def _check(self) -> None:
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            raise QueryTimeoutError(0.0, 0.0)
+
+    def evaluate(self, expr: ast.Expression, env: Optional[dict[str, list]] = None) -> list:
+        env = env or {}
+        self._check()
+        if isinstance(expr, ast.Doc) or isinstance(expr, ast.Root):
+            return [self.doc]
+        if isinstance(expr, ast.VarRef):
+            if expr.name not in env:
+                raise PureXMLError(f"unbound variable ${expr.name}")
+            return env[expr.name]
+        if isinstance(expr, (ast.StringLiteral,)):
+            return [expr.value]
+        if isinstance(expr, ast.NumberLiteral):
+            return [expr.value]
+        if isinstance(expr, ast.EmptySequence):
+            return []
+        if isinstance(expr, ast.FsDdo):
+            return self._document_order(self.evaluate(expr.argument, env))
+        if isinstance(expr, ast.FnBoolean):
+            return self.evaluate(expr.argument, env)
+        if isinstance(expr, ast.Step):
+            context = self.evaluate(expr.input, env)
+            result: list[XMLNode] = []
+            for node in context:
+                if isinstance(node, XMLNode):
+                    result.extend(self._step(node, expr.axis, expr.node_test))
+            return self._document_order(result)
+        if isinstance(expr, ast.Filter):
+            context = self.evaluate(expr.input, env)
+            return [node for node in context if self._boolean(expr.predicate, env, node)]
+        if isinstance(expr, ast.ForExpr):
+            sequence = self.evaluate(expr.sequence, env)
+            result = []
+            for item in sequence:
+                inner = dict(env)
+                inner[expr.var] = [item]
+                result.extend(self.evaluate(expr.body, inner))
+            return result
+        if isinstance(expr, ast.LetExpr):
+            inner = dict(env)
+            inner[expr.var] = self.evaluate(expr.value, env)
+            return self.evaluate(expr.body, inner)
+        if isinstance(expr, ast.IfExpr):
+            if self._boolean(expr.condition, env, None):
+                return self.evaluate(expr.then_branch, env)
+            return []
+        if isinstance(expr, ast.AndExpr):
+            left = self._boolean(expr.left, env, None)
+            right = self._boolean(expr.right, env, None)
+            return [True] if left and right else []
+        if isinstance(expr, ast.Comparison):
+            return [True] if self._compare(expr, env, None) else []
+        raise PureXMLError(f"cannot evaluate AST node {type(expr).__name__}")
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _step(self, node: XMLNode, axis: str, node_test: str) -> list[XMLNode]:
+        from repro.xmldb.infoset import NodeKind
+
+        def test(candidate: XMLNode, principal: NodeKind) -> bool:
+            if node_test == "node()":
+                return True
+            if node_test == "text()":
+                return candidate.kind is NodeKind.TEXT
+            if node_test == "*":
+                return candidate.kind is principal
+            return candidate.kind is principal and candidate.name == node_test
+
+        if axis == "attribute":
+            return [a for a in node.attributes if test(a, NodeKind.ATTR)]
+        if axis == "child":
+            return [c for c in node.children if test(c, NodeKind.ELEM)]
+        if axis == "descendant":
+            return [
+                d
+                for d in node.iter_descendants(include_self=False)
+                if d.kind is not NodeKind.ATTR and test(d, NodeKind.ELEM)
+            ]
+        if axis == "descendant-or-self":
+            return [d for d in node.iter_descendants(include_self=True) if test(d, NodeKind.ELEM) or node_test == "node()"]
+        if axis == "self":
+            return [node] if test(node, NodeKind.ELEM) else []
+        if axis == "parent":
+            return [node.parent] if node.parent is not None and test(node.parent, NodeKind.ELEM) else []
+        if axis == "ancestor":
+            result = []
+            current = node.parent
+            while current is not None:
+                if test(current, NodeKind.ELEM):
+                    result.append(current)
+                current = current.parent
+            return result
+        raise PureXMLError(f"axis {axis!r} is not supported by XSCAN")
+
+    def _boolean(self, expr: ast.Expression, env: dict[str, list], context: Optional[XMLNode]) -> bool:
+        if isinstance(expr, ast.AndExpr):
+            return self._boolean(expr.left, env, context) and self._boolean(expr.right, env, context)
+        if isinstance(expr, ast.Comparison):
+            return self._compare(expr, env, context)
+        return bool(self._evaluate_in_context(expr, env, context))
+
+    def _compare(self, expr: ast.Comparison, env: dict[str, list], context: Optional[XMLNode]) -> bool:
+        left = self._atomize(self._evaluate_in_context(expr.left, env, context))
+        right = self._atomize(self._evaluate_in_context(expr.right, env, context))
+        for lv in left:
+            for rv in right:
+                if _general_compare(lv, expr.op, rv):
+                    return True
+        return False
+
+    def _evaluate_in_context(
+        self, expr: ast.Expression, env: dict[str, list], context: Optional[XMLNode]
+    ) -> list:
+        if context is not None:
+            scan = XScan(self.doc, self.deadline)
+            env = dict(env)
+            env["__context__"] = [context]
+            rewritten = _replace_context(expr)
+            return scan.evaluate(rewritten, env)
+        return self.evaluate(expr, env)
+
+    @staticmethod
+    def _atomize(values: list) -> list:
+        atoms = []
+        for value in values:
+            if isinstance(value, XMLNode):
+                atoms.append(value.string_value())
+            else:
+                atoms.append(value)
+        return atoms
+
+    @staticmethod
+    def _document_order(nodes: list) -> list:
+        ordered = []
+        seen: set[int] = set()
+        for node in nodes:
+            if isinstance(node, XMLNode) and id(node) in seen:
+                continue
+            if isinstance(node, XMLNode):
+                seen.add(id(node))
+            ordered.append(node)
+        return ordered
+
+
+def _replace_context(expr: ast.Expression) -> ast.Expression:
+    if isinstance(expr, ast.ContextItem):
+        return ast.VarRef("__context__")
+    if isinstance(expr, ast.Step):
+        return ast.Step(_replace_context(expr.input), expr.axis, expr.node_test)
+    if isinstance(expr, ast.Filter):
+        return ast.Filter(_replace_context(expr.input), expr.predicate)
+    if isinstance(expr, ast.Comparison):
+        return ast.Comparison(_replace_context(expr.left), expr.op, _replace_context(expr.right))
+    if isinstance(expr, ast.AndExpr):
+        return ast.AndExpr(_replace_context(expr.left), _replace_context(expr.right))
+    return expr
+
+
+def _general_compare(left: object, op: str, right: object) -> bool:
+    # General comparisons over untyped values: compare numerically when both
+    # sides cast to a number and the literal side is numeric, else as strings.
+    if isinstance(left, (int, float)) or isinstance(right, (int, float)):
+        try:
+            left_value = float(left)  # type: ignore[arg-type]
+            right_value = float(right)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return False
+    else:
+        left_value, right_value = str(left), str(right)
+    if op == "=":
+        return left_value == right_value
+    if op == "!=":
+        return left_value != right_value
+    if op == "<":
+        return left_value < right_value
+    if op == "<=":
+        return left_value <= right_value
+    if op == ">":
+        return left_value > right_value
+    if op == ">=":
+        return left_value >= right_value
+    raise PureXMLError(f"unknown comparison operator {op!r}")

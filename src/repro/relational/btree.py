@@ -1,0 +1,261 @@
+"""A bulk-loaded B+-tree and the composite-key index built on top of it.
+
+The paper's whole point is that *vanilla* B-tree indexes over the ``doc``
+encoding suffice to turn an RDBMS into an XQuery processor.  This module
+provides exactly that: a textbook B+-tree (sorted leaves linked for range
+scans, internal separator nodes) plus :class:`BTreeIndex`, which maps the
+tree onto a table — composite key columns (including the computed
+``pre + size`` column the paper uses), INCLUDE columns stored on the leaf
+entries, and per-prefix statistics used by the optimizer.
+
+Keys are tuples; ``None`` values sort first.  The tree is bulk-loaded from
+sorted entries, which matches the one-shot index build after document
+loading (the workload is read-only).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.algebra.table import Table
+
+#: Fan-out of the B+-tree (number of entries per leaf / separators per node).
+DEFAULT_ORDER = 64
+
+#: Marker for the computed key column ``pre + size`` (column ``s`` in Table VI).
+PRE_PLUS_SIZE = "pre+size"
+
+
+def _orderable(value: object) -> tuple:
+    """Map heterogeneous key components onto one totally ordered domain."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    return (2, str(value))
+
+
+def order_key(values: Sequence[object]) -> tuple:
+    """The comparable form of a composite key."""
+    return tuple(_orderable(value) for value in values)
+
+
+class _Leaf:
+    __slots__ = ("keys", "payloads", "next")
+
+    def __init__(self) -> None:
+        self.keys: list[tuple] = []
+        self.payloads: list[tuple] = []
+        self.next: Optional["_Leaf"] = None
+
+
+class _Internal:
+    __slots__ = ("separators", "children")
+
+    def __init__(self) -> None:
+        self.separators: list[tuple] = []
+        self.children: list[object] = []
+
+
+class BPlusTree:
+    """A read-optimised B+-tree over ``(key, payload)`` entries."""
+
+    def __init__(self, entries: Iterable[tuple[tuple, tuple]], order: int = DEFAULT_ORDER):
+        self.order = max(4, order)
+        sorted_entries = sorted(entries, key=lambda entry: order_key(entry[0]))
+        self._size = len(sorted_entries)
+        self.root, self.first_leaf = self._bulk_load(sorted_entries)
+        self.height = self._measure_height()
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- construction ---------------------------------------------------------------
+
+    def _bulk_load(self, entries: list[tuple[tuple, tuple]]):
+        leaves: list[_Leaf] = []
+        for start in range(0, max(len(entries), 1), self.order):
+            leaf = _Leaf()
+            for key, payload in entries[start : start + self.order]:
+                leaf.keys.append(key)
+                leaf.payloads.append(payload)
+            leaves.append(leaf)
+        for left, right in zip(leaves, leaves[1:]):
+            left.next = right
+        level: list[object] = list(leaves)
+        level_keys = [leaf.keys[0] if leaf.keys else () for leaf in leaves]
+        while len(level) > 1:
+            parents: list[object] = []
+            parent_keys: list[tuple] = []
+            for start in range(0, len(level), self.order):
+                node = _Internal()
+                node.children = level[start : start + self.order]
+                node.separators = level_keys[start + 1 : start + self.order]
+                parents.append(node)
+                parent_keys.append(level_keys[start])
+            level = parents
+            level_keys = parent_keys
+        return level[0], leaves[0]
+
+    def _measure_height(self) -> int:
+        height = 1
+        node = self.root
+        while isinstance(node, _Internal):
+            height += 1
+            node = node.children[0]
+        return height
+
+    # -- search ------------------------------------------------------------------------
+
+    def _descend(self, key: tuple) -> _Leaf:
+        node = self.root
+        comparable = order_key(key)
+        while isinstance(node, _Internal):
+            index = bisect.bisect_right([order_key(k) for k in node.separators], comparable)
+            node = node.children[index]
+        return node  # type: ignore[return-value]
+
+    def scan_range(
+        self,
+        low: Optional[tuple] = None,
+        high: Optional[tuple] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[tuple[tuple, tuple]]:
+        """Yield ``(key, payload)`` for keys within ``[low, high]`` (prefix compare).
+
+        A bound that is shorter than the full composite key behaves like a
+        prefix bound: ``low=(name,)`` starts at the first key with that name.
+        """
+        leaf = self._descend(low) if low is not None else self.first_leaf
+        low_key = order_key(low) if low is not None else None
+        high_key = order_key(high) if high is not None else None
+        while leaf is not None:
+            leaf_keys = [order_key(k) for k in leaf.keys]
+            start = 0
+            if low_key is not None:
+                start = bisect.bisect_left(leaf_keys, low_key)
+            for position in range(start, len(leaf.keys)):
+                key_comparable = leaf_keys[position]
+                if low_key is not None:
+                    prefix = key_comparable[: len(low_key)]
+                    if prefix < low_key or (not low_inclusive and prefix == low_key):
+                        continue
+                if high_key is not None:
+                    prefix = key_comparable[: len(high_key)]
+                    if prefix > high_key or (not high_inclusive and prefix == high_key):
+                        return
+                yield leaf.keys[position], leaf.payloads[position]
+            leaf = leaf.next
+
+    def scan_all(self) -> Iterator[tuple[tuple, tuple]]:
+        """Full scan in key order."""
+        return self.scan_range(None, None)
+
+
+@dataclass
+class BTreeIndex:
+    """A composite-key B-tree index over one table.
+
+    ``key_columns`` may contain real column names or the computed column
+    :data:`PRE_PLUS_SIZE`; ``include_columns`` are carried on the leaves so
+    that lookups do not have to touch the base table (the paper's
+    ``INCLUDE(·)`` clause on the ``p|nvkls`` index).
+    """
+
+    name: str
+    table_name: str
+    key_columns: tuple[str, ...]
+    include_columns: tuple[str, ...] = ()
+    clustered: bool = False
+    tree: BPlusTree = field(default=None, repr=False)  # type: ignore[assignment]
+    #: Distinct key-prefix counts, one entry per key prefix length.
+    prefix_cardinalities: tuple[int, ...] = ()
+    entry_count: int = 0
+
+    @staticmethod
+    def build(
+        name: str,
+        table_name: str,
+        table: Table,
+        key_columns: Sequence[str],
+        include_columns: Sequence[str] = (),
+        clustered: bool = False,
+        order: int = DEFAULT_ORDER,
+    ) -> "BTreeIndex":
+        """Bulk-build the index from the table's current contents."""
+        key_columns = tuple(key_columns)
+        include_columns = tuple(include_columns)
+        key_extractors = [_column_extractor(table, column) for column in key_columns]
+        include_indices = [table.column_index(column) for column in include_columns]
+        entries = []
+        for row_position, row in enumerate(table.rows):
+            key = tuple(extract(row) for extract in key_extractors)
+            payload = (row_position,) + tuple(row[i] for i in include_indices)
+            entries.append((key, payload))
+        tree = BPlusTree(entries, order=order)
+        prefix_cardinalities = tuple(
+            len({key[: depth + 1] for key, _payload in entries})
+            for depth in range(len(key_columns))
+        )
+        return BTreeIndex(
+            name=name,
+            table_name=table_name,
+            key_columns=key_columns,
+            include_columns=include_columns,
+            clustered=clustered,
+            tree=tree,
+            prefix_cardinalities=prefix_cardinalities,
+            entry_count=len(entries),
+        )
+
+    # -- lookups ---------------------------------------------------------------------
+
+    def lookup(self, prefix: Sequence[object]) -> Iterator[int]:
+        """Row positions whose key starts with ``prefix`` (equality lookup)."""
+        prefix = tuple(prefix)
+        for _key, payload in self.tree.scan_range(prefix, prefix):
+            yield payload[0]
+
+    def scan(
+        self,
+        low: Optional[Sequence[object]] = None,
+        high: Optional[Sequence[object]] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[tuple[tuple, int]]:
+        """Range scan: yields ``(key, row_position)`` pairs in key order."""
+        for key, payload in self.tree.scan_range(
+            tuple(low) if low is not None else None,
+            tuple(high) if high is not None else None,
+            low_inclusive,
+            high_inclusive,
+        ):
+            yield key, payload[0]
+
+    def selectivity_of_prefix(self, depth: int) -> float:
+        """Fraction of rows matched by an equality on the first ``depth`` key columns."""
+        if depth <= 0 or not self.entry_count:
+            return 1.0
+        depth = min(depth, len(self.prefix_cardinalities))
+        distinct = max(1, self.prefix_cardinalities[depth - 1])
+        return 1.0 / distinct
+
+    def describe(self) -> str:
+        keys = ", ".join(self.key_columns)
+        include = f" INCLUDE({', '.join(self.include_columns)})" if self.include_columns else ""
+        clustered = " CLUSTERED" if self.clustered else ""
+        return f"{self.name} ON {self.table_name}({keys}){include}{clustered}"
+
+
+def _column_extractor(table: Table, column: str):
+    if column == PRE_PLUS_SIZE:
+        pre_index = table.column_index("pre")
+        size_index = table.column_index("size")
+        return lambda row: row[pre_index] + row[size_index]
+    index = table.column_index(column)
+    return lambda row: row[index]

@@ -1,0 +1,55 @@
+"""Query engine facade: execute isolated join graphs against the catalog."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.joingraph import JoinGraph
+from repro.relational.catalog import Database
+from repro.relational.optimizer.planner import PlannedQuery, Planner
+from repro.relational.physical.operators import ExecutionContext
+
+
+@dataclass
+class QueryResult:
+    """Rows produced by one join-graph execution plus execution counters."""
+
+    rows: list[dict[str, object]]
+    plan: PlannedQuery
+    rows_scanned: int
+    index_probes: int
+
+    def items(self) -> list[object]:
+        """The result node sequence (the ``item`` output column, in order)."""
+        return [row["item"] for row in self.rows]
+
+
+class RelationalEngine:
+    """Plan and execute join graphs against an in-memory :class:`Database`."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        self.planner = Planner(database)
+
+    def plan(self, graph: JoinGraph) -> PlannedQuery:
+        """Produce (and return) the physical plan without executing it."""
+        return self.planner.plan(graph)
+
+    def explain(self, graph: JoinGraph) -> str:
+        """DB2-style textual explain of the chosen execution plan."""
+        return self.plan(graph).explain()
+
+    def execute(
+        self, graph: JoinGraph, timeout_seconds: Optional[float] = None
+    ) -> QueryResult:
+        """Plan and execute ``graph``; raises ``QueryTimeoutError`` on budget overrun."""
+        planned = self.plan(graph)
+        ctx = ExecutionContext(timeout_seconds)
+        rows = list(planned.root.results(ctx))
+        return QueryResult(
+            rows=rows,
+            plan=planned,
+            rows_scanned=ctx.rows_scanned,
+            index_probes=ctx.index_probes,
+        )

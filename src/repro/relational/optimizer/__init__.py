@@ -1,0 +1,5 @@
+"""Cost-based optimizer: selectivity estimation, access paths, join ordering."""
+
+from repro.relational.optimizer.planner import PlannedQuery, Planner
+
+__all__ = ["PlannedQuery", "Planner"]

@@ -1,0 +1,314 @@
+"""Cost-based planning of join graph queries.
+
+Given a :class:`~repro.core.joingraph.JoinGraph`, the planner performs the
+two decisions the paper credits the off-the-shelf optimizer with:
+
+* **access path selection** — for every ``doc`` alias, pick the B-tree whose
+  key prefix covers the alias' equality predicates (name / kind / level /
+  value / data) plus at most one range bound (``pre`` or ``pre + size``);
+* **join ordering** — greedily start from the alias with the smallest
+  estimated cardinality (driven by the tag-name / value statistics, which is
+  what makes the plan start at ``price > 500`` in Q2, cf. Fig. 11) and
+  repeatedly attach the cheapest connected alias, preferring index
+  nested-loop joins over hash joins over residual filters.
+
+The resulting plan is a tree of the physical operators of Table VII and can
+be explained in a DB2-like textual form (used by the Fig. 10 / Fig. 11
+experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import PlanningError
+from repro.core.joingraph import ColumnTerm, Condition, ConstantTerm, JoinGraph, SumTerm, Term
+from repro.relational.btree import PRE_PLUS_SIZE, BTreeIndex
+from repro.relational.catalog import Database
+from repro.relational.physical.operators import (
+    Filter,
+    HashJoin,
+    IndexBound,
+    IndexNestedLoopJoin,
+    IndexScan,
+    PhysicalOperator,
+    Return,
+    Sort,
+    TableScan,
+)
+from repro.relational.statistics import DEFAULT_SELECTIVITY
+
+_RANGE_OPS = {"<", "<=", ">", ">="}
+
+
+def _term_alias_column(term: Term) -> Optional[tuple[str, str]]:
+    """Resolve a term to ``(alias, key_column)`` if it is indexable."""
+    if isinstance(term, ColumnTerm):
+        return term.alias, term.column
+    if isinstance(term, SumTerm) and len(term.terms) == 2:
+        first, second = term.terms
+        if (
+            isinstance(first, ColumnTerm)
+            and isinstance(second, ColumnTerm)
+            and first.alias == second.alias
+            and {first.column, second.column} == {"pre", "size"}
+        ):
+            return first.alias, PRE_PLUS_SIZE
+    return None
+
+
+def _references_only(term: Term, aliases: set[str]) -> bool:
+    if isinstance(term, ColumnTerm):
+        return term.alias in aliases
+    if isinstance(term, SumTerm):
+        return all(_references_only(part, aliases) for part in term.terms)
+    return True  # constants
+
+
+@dataclass
+class PlannedQuery:
+    """The optimizer's output: a physical plan plus its explain rendering."""
+
+    root: Return
+    join_order: list[str]
+    graph: JoinGraph
+
+    def explain(self) -> str:
+        return self.root.explain()
+
+
+@dataclass
+class Planner:
+    """Greedy selectivity-driven planner over a :class:`Database`."""
+
+    database: Database
+
+    # -- cardinality estimation ---------------------------------------------------------
+
+    def _local_selectivity(self, condition: Condition, table_name: str) -> float:
+        stats = self.database.table_stats(table_name)
+        for side, other in ((condition.left, condition.right), (condition.right, condition.left)):
+            resolved = _term_alias_column(side)
+            if resolved is None or not isinstance(other, ConstantTerm):
+                continue
+            _alias, column = resolved
+            if column == PRE_PLUS_SIZE:
+                column = "pre"
+            if condition.op == "=":
+                return stats.equality_selectivity(column, other.value)
+            if condition.op in _RANGE_OPS:
+                if condition.op in (">", ">="):
+                    low, high = (other.value, None) if side is condition.left else (None, other.value)
+                else:
+                    low, high = (None, other.value) if side is condition.left else (other.value, None)
+                return stats.range_selectivity(column, low, high)
+        return DEFAULT_SELECTIVITY
+
+    def _alias_cardinality(self, graph: JoinGraph, alias: str) -> float:
+        stats = self.database.table_stats(graph.table_name)
+        cardinality = float(stats.row_count)
+        for condition in graph.conditions_for(alias):
+            cardinality *= self._local_selectivity(condition, graph.table_name)
+        return max(cardinality, 0.01)
+
+    # -- access path selection ------------------------------------------------------------
+
+    def _bounds_for(
+        self, alias: str, conditions: list[Condition], outer_aliases: set[str]
+    ) -> tuple[dict[str, list[IndexBound]], list[Condition]]:
+        """Classify conditions into per-key-column bounds for alias ``alias``."""
+        bounds: dict[str, list[IndexBound]] = {}
+        usable: list[Condition] = []
+        for condition in conditions:
+            for side, other in (
+                (condition.left, condition.right),
+                (condition.right, condition.left),
+            ):
+                resolved = _term_alias_column(side)
+                if resolved is None or resolved[0] != alias:
+                    continue
+                if not _references_only(other, outer_aliases):
+                    continue
+                column = resolved[1]
+                op = condition.op if side is condition.left else _flip(condition.op)
+                if op == "=":
+                    bounds.setdefault(column, []).append(
+                        IndexBound(column, "eq", other, source=condition)
+                    )
+                elif op in (">", ">="):
+                    bounds.setdefault(column, []).append(
+                        IndexBound(column, "low", other, inclusive=(op == ">="), source=condition)
+                    )
+                elif op in ("<", "<="):
+                    bounds.setdefault(column, []).append(
+                        IndexBound(column, "high", other, inclusive=(op == "<="), source=condition)
+                    )
+                else:
+                    continue
+                usable.append(condition)
+                break
+        return bounds, usable
+
+    def _choose_index(
+        self, graph: JoinGraph, alias: str, bounds: dict[str, list[IndexBound]]
+    ) -> Optional[tuple[BTreeIndex, list[IndexBound], float]]:
+        """Pick the index with the longest usable key prefix for the bounds."""
+        best: Optional[tuple[BTreeIndex, list[IndexBound], float, float]] = None
+        for index in self.database.indexes_on(graph.table_name):
+            chosen: list[IndexBound] = []
+            score = 0.0
+            selectivity = 1.0
+            for depth, column in enumerate(index.key_columns):
+                column_bounds = bounds.get(column, [])
+                eq = next((b for b in column_bounds if b.kind == "eq"), None)
+                if eq is not None:
+                    chosen.append(eq)
+                    score += 1.0
+                    selectivity = index.selectivity_of_prefix(depth + 1)
+                    continue
+                ranged = [b for b in column_bounds if b.kind in ("low", "high")]
+                if ranged:
+                    chosen.extend(ranged)
+                    score += 0.5
+                    selectivity *= 0.3
+                break
+            if not chosen:
+                continue
+            candidate = (index, chosen, score, selectivity)
+            if best is None or (score, -selectivity) > (best[2], -best[3]):
+                best = candidate
+        if best is None:
+            return None
+        return best[0], best[1], best[3]
+
+    # -- planning -----------------------------------------------------------------------------
+
+    def plan(self, graph: JoinGraph) -> PlannedQuery:
+        if not graph.aliases:
+            raise PlanningError("the join graph has no doc references")
+        table = self.database.table(graph.table_name)
+        cardinalities = {alias: self._alias_cardinality(graph, alias) for alias in graph.aliases}
+        remaining = set(graph.aliases)
+        consumed: set[int] = set()
+        start = min(remaining, key=lambda alias: cardinalities[alias])
+        current = self._access_path(graph, start, consumed, cardinalities[start])
+        joined = {start}
+        join_order = [start]
+        remaining.discard(start)
+        while remaining:
+            candidates = [
+                alias
+                for alias in remaining
+                if any(
+                    alias in condition.aliases() and condition.aliases() - {alias} <= joined
+                    for condition in graph.join_conditions()
+                )
+            ]
+            if not candidates:
+                candidates = list(remaining)
+            alias = min(candidates, key=lambda a: cardinalities[a])
+            current = self._join_alias(graph, current, joined, alias, consumed, cardinalities)
+            joined.add(alias)
+            join_order.append(alias)
+            remaining.discard(alias)
+        leftovers = [
+            condition
+            for condition in graph.conditions
+            if id(condition) not in consumed
+        ]
+        if leftovers:
+            current = Filter(current, leftovers)
+        sort = Sort(
+            current,
+            order_terms=list(graph.order_terms),
+            select_items=list(graph.select_items),
+            distinct=graph.distinct,
+        )
+        return PlannedQuery(Return(sort, list(graph.select_items)), join_order, graph)
+
+    def _access_path(
+        self, graph: JoinGraph, alias: str, consumed: set[int], estimate: float
+    ) -> PhysicalOperator:
+        table = self.database.table(graph.table_name)
+        local = graph.conditions_for(alias)
+        bounds, usable = self._bounds_for(alias, local, set())
+        choice = self._choose_index(graph, alias, bounds)
+        if choice is None:
+            for condition in local:
+                consumed.add(id(condition))
+            return TableScan(table, alias, local, estimated_rows=estimate)
+        index, chosen, _selectivity = choice
+        bound_ids = {id(b.term) for b in chosen}
+        residual = [c for c in local if not _condition_covered(c, chosen)]
+        for condition in local:
+            consumed.add(id(condition))
+        return IndexScan(index, table, alias, chosen, residual, estimated_rows=estimate)
+
+    def _join_alias(
+        self,
+        graph: JoinGraph,
+        outer: PhysicalOperator,
+        joined: set[str],
+        alias: str,
+        consumed: set[int],
+        cardinalities: dict[str, float],
+    ) -> PhysicalOperator:
+        table = self.database.table(graph.table_name)
+        connecting = [
+            condition
+            for condition in graph.conditions
+            if id(condition) not in consumed
+            and alias in condition.aliases()
+            and condition.aliases() <= joined | {alias}
+        ]
+        bounds, _usable = self._bounds_for(alias, connecting, joined)
+        choice = self._choose_index(graph, alias, bounds)
+        if choice is not None:
+            index, chosen, _selectivity = choice
+            residual = [c for c in connecting if not _condition_covered(c, chosen)]
+            for condition in connecting:
+                consumed.add(id(condition))
+            return IndexNestedLoopJoin(
+                outer, index, table, alias, chosen, residual,
+                estimated_rows=cardinalities[alias],
+            )
+        equalities = [
+            condition
+            for condition in connecting
+            if condition.op == "="
+            and _term_alias_column(condition.left) is not None
+            and _term_alias_column(condition.right) is not None
+        ]
+        inner_local = graph.conditions_for(alias)
+        inner = TableScan(table, alias, inner_local, estimated_rows=cardinalities[alias])
+        for condition in inner_local:
+            consumed.add(id(condition))
+        if equalities:
+            outer_terms, inner_terms = [], []
+            for condition in equalities:
+                left_info = _term_alias_column(condition.left)
+                if left_info and left_info[0] == alias:
+                    inner_terms.append(condition.left)
+                    outer_terms.append(condition.right)
+                else:
+                    inner_terms.append(condition.right)
+                    outer_terms.append(condition.left)
+            residual = [c for c in connecting if c not in equalities]
+            for condition in connecting:
+                consumed.add(id(condition))
+            return HashJoin(outer, inner, outer_terms, inner_terms, residual)
+        for condition in connecting:
+            consumed.add(id(condition))
+        joined_scan = HashJoin(outer, inner, [], [], connecting)
+        return joined_scan
+
+
+def _condition_covered(condition: Condition, bounds: list[IndexBound]) -> bool:
+    """True when the condition is fully represented by one of the chosen bounds."""
+    sources = {id(bound.source) for bound in bounds if bound.source is not None}
+    return id(condition) in sources
+
+
+def _flip(op: str) -> str:
+    return {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]

@@ -1,0 +1,385 @@
+"""Physical query operators (the engine's counterpart of Table VII).
+
+The operator names deliberately follow DB2's explain vocabulary so that the
+execution-plan experiments (Fig. 10 / Fig. 11) read like the paper:
+
+=========  =====================================================
+TBSCAN      full table scan (+ residual predicate)
+IXSCAN      B-tree index scan (equality prefix + one range bound)
+NLJOIN      index nested-loop join (outer rows drive index probes)
+HSJOIN      hash join (build on the inner input, probe with the outer)
+FILTER      residual predicate evaluation
+SORT        sort on the ORDER BY terms (+ duplicate elimination)
+RETURN      final projection to the query's select list
+=========  =====================================================
+
+Rows are dictionaries keyed by ``(alias, column)`` so that the self-join
+aliases of the join graph stay separate.  All operators are iterators; the
+plan is fully pipelined except for SORT and the build side of HSJOIN.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.errors import ExecutionError, QueryTimeoutError
+from repro.algebra.table import Table
+from repro.core.joingraph import ColumnTerm, Condition, ConstantTerm, SumTerm, Term
+from repro.relational.btree import PRE_PLUS_SIZE, BTreeIndex
+
+Row = dict[tuple[str, str], object]
+
+
+class ExecutionContext:
+    """Shared run-time state: deadline checks and operator counters."""
+
+    def __init__(self, timeout_seconds: Optional[float] = None):
+        self.timeout_seconds = timeout_seconds
+        self.deadline = (
+            time.perf_counter() + timeout_seconds if timeout_seconds is not None else None
+        )
+        self.rows_scanned = 0
+        self.index_probes = 0
+
+    def check(self) -> None:
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            elapsed = (self.timeout_seconds or 0.0) + (time.perf_counter() - self.deadline)
+            raise QueryTimeoutError(self.timeout_seconds or 0.0, elapsed)
+
+
+def evaluate_term(term: Term, row: Row) -> object:
+    """Evaluate a join-graph term against a physical row."""
+    if isinstance(term, ColumnTerm):
+        return row.get((term.alias, term.column))
+    if isinstance(term, ConstantTerm):
+        return term.value
+    if isinstance(term, SumTerm):
+        total = 0
+        for part in term.terms:
+            value = evaluate_term(part, row)
+            if value is None:
+                return None
+            total += value  # type: ignore[operator]
+        return total
+    raise ExecutionError(f"cannot evaluate term {term!r}")
+
+
+def evaluate_condition(condition: Condition, row: Row) -> bool:
+    left = evaluate_term(condition.left, row)
+    right = evaluate_term(condition.right, row)
+    if left is None or right is None:
+        return False
+    op = condition.op
+    try:
+        if op == "=":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right  # type: ignore[operator]
+        if op == "<=":
+            return left <= right  # type: ignore[operator]
+        if op == ">":
+            return left > right  # type: ignore[operator]
+        if op == ">=":
+            return left >= right  # type: ignore[operator]
+    except TypeError:
+        return False
+    raise ExecutionError(f"unknown comparison operator {op!r}")
+
+
+@dataclass
+class PhysicalOperator:
+    """Base class: every operator yields rows and can explain itself."""
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def children(self) -> Sequence["PhysicalOperator"]:
+        return ()
+
+    def describe(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+
+def _table_row(table: Table, alias: str, position: int) -> Row:
+    row = table.rows[position]
+    return {(alias, column): row[index] for index, column in enumerate(table.columns)}
+
+
+@dataclass
+class TableScan(PhysicalOperator):
+    """TBSCAN — scan the base table, applying residual conditions."""
+
+    table: Table
+    alias: str
+    conditions: list[Condition] = field(default_factory=list)
+    estimated_rows: float = 0.0
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        for position in range(len(self.table.rows)):
+            ctx.check()
+            ctx.rows_scanned += 1
+            row = _table_row(self.table, self.alias, position)
+            if all(evaluate_condition(c, row) for c in self.conditions):
+                yield row
+
+    def describe(self) -> str:
+        predicate = " ".join(c.render() for c in self.conditions)
+        suffix = f" [{predicate}]" if predicate else ""
+        return f"TBSCAN({self.alias}){suffix}"
+
+
+@dataclass
+class IndexBound:
+    """One bound on an index key column, evaluated per outer row (or constant)."""
+
+    column: str
+    kind: str  # "eq", "low", "high"
+    term: Term
+    inclusive: bool = True
+    #: The join-graph condition this bound enforces (used by the planner to
+    #: decide which conditions still need residual evaluation).
+    source: object = None
+
+
+@dataclass
+class IndexScan(PhysicalOperator):
+    """IXSCAN — B-tree access with a constant equality prefix and range bound."""
+
+    index: BTreeIndex
+    table: Table
+    alias: str
+    bounds: list[IndexBound] = field(default_factory=list)
+    residual: list[Condition] = field(default_factory=list)
+    estimated_rows: float = 0.0
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        empty: Row = {}
+        yield from probe_index(
+            ctx, self.index, self.table, self.alias, self.bounds, self.residual, empty
+        )
+
+    def describe(self) -> str:
+        keys = ",".join(self.index.key_columns)
+        bound = ", ".join(f"{b.column}{'=' if b.kind == 'eq' else b.kind}" for b in self.bounds)
+        residual = f" residual={len(self.residual)}" if self.residual else ""
+        return f"IXSCAN({self.alias}) index={self.index.name}({keys}) bounds[{bound}]{residual}"
+
+
+def probe_index(
+    ctx: ExecutionContext,
+    index: BTreeIndex,
+    table: Table,
+    alias: str,
+    bounds: list[IndexBound],
+    residual: list[Condition],
+    outer_row: Row,
+) -> Iterator[Row]:
+    """Probe a B-tree with bounds evaluated against ``outer_row``."""
+    ctx.index_probes += 1
+    equalities: dict[str, object] = {}
+    low_extra: Optional[tuple[object, bool]] = None
+    high_extra: Optional[tuple[object, bool]] = None
+    range_column: Optional[str] = None
+    for bound in bounds:
+        value = evaluate_term(bound.term, outer_row)
+        if value is None:
+            return
+        if bound.kind == "eq":
+            equalities[bound.column] = value
+        elif bound.kind == "low":
+            range_column = bound.column
+            if low_extra is None or value > low_extra[0]:  # type: ignore[operator]
+                low_extra = (value, bound.inclusive)
+        else:
+            range_column = bound.column
+            if high_extra is None or value < high_extra[0]:  # type: ignore[operator]
+                high_extra = (value, bound.inclusive)
+    prefix = []
+    for column in index.key_columns:
+        if column in equalities:
+            prefix.append(equalities[column])
+        else:
+            break
+    low = list(prefix)
+    high = list(prefix)
+    low_inclusive = high_inclusive = True
+    next_column = (
+        index.key_columns[len(prefix)] if len(prefix) < len(index.key_columns) else None
+    )
+    if range_column is not None and next_column == range_column:
+        if low_extra is not None:
+            low.append(low_extra[0])
+            low_inclusive = low_extra[1]
+        if high_extra is not None:
+            high.append(high_extra[0])
+            high_inclusive = high_extra[1]
+    for _key, position in index.scan(
+        tuple(low) if low else None,
+        tuple(high) if high else None,
+        low_inclusive,
+        high_inclusive,
+    ):
+        ctx.check()
+        ctx.rows_scanned += 1
+        row = dict(outer_row)
+        row.update(_table_row(table, alias, position))
+        if all(evaluate_condition(c, row) for c in residual):
+            yield row
+
+
+@dataclass
+class IndexNestedLoopJoin(PhysicalOperator):
+    """NLJOIN — for every outer row, probe the inner alias through a B-tree."""
+
+    outer: PhysicalOperator
+    index: BTreeIndex
+    table: Table
+    alias: str
+    bounds: list[IndexBound] = field(default_factory=list)
+    residual: list[Condition] = field(default_factory=list)
+    estimated_rows: float = 0.0
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        for outer_row in self.outer.rows(ctx):
+            yield from probe_index(
+                ctx, self.index, self.table, self.alias, self.bounds, self.residual, outer_row
+            )
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.outer,)
+
+    def describe(self) -> str:
+        keys = ",".join(self.index.key_columns)
+        bound = ", ".join(f"{b.column}{'=' if b.kind == 'eq' else b.kind}" for b in self.bounds)
+        return f"NLJOIN -> IXSCAN({self.alias}) index={self.index.name}({keys}) bounds[{bound}]"
+
+
+@dataclass
+class HashJoin(PhysicalOperator):
+    """HSJOIN — build a hash table on the inner input, probe with the outer."""
+
+    outer: PhysicalOperator
+    inner: PhysicalOperator
+    outer_terms: list[Term] = field(default_factory=list)
+    inner_terms: list[Term] = field(default_factory=list)
+    residual: list[Condition] = field(default_factory=list)
+    estimated_rows: float = 0.0
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        buckets: dict[tuple, list[Row]] = {}
+        for inner_row in self.inner.rows(ctx):
+            key = tuple(evaluate_term(term, inner_row) for term in self.inner_terms)
+            buckets.setdefault(key, []).append(inner_row)
+        for outer_row in self.outer.rows(ctx):
+            ctx.check()
+            key = tuple(evaluate_term(term, outer_row) for term in self.outer_terms)
+            for inner_row in buckets.get(key, ()):
+                row = dict(outer_row)
+                row.update(inner_row)
+                if all(evaluate_condition(c, row) for c in self.residual):
+                    yield row
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.outer, self.inner)
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{o.render()}={i.render()}" for o, i in zip(self.outer_terms, self.inner_terms)
+        )
+        return f"HSJOIN [{keys}]"
+
+
+@dataclass
+class Filter(PhysicalOperator):
+    """FILTER — residual predicate evaluation."""
+
+    child: PhysicalOperator
+    conditions: list[Condition] = field(default_factory=list)
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        for row in self.child.rows(ctx):
+            if all(evaluate_condition(c, row) for c in self.conditions):
+                yield row
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"FILTER [{' AND '.join(c.render() for c in self.conditions)}]"
+
+
+@dataclass
+class Sort(PhysicalOperator):
+    """SORT — order by the given terms, optionally eliminating duplicate output rows."""
+
+    child: PhysicalOperator
+    order_terms: list[Term] = field(default_factory=list)
+    select_items: list[tuple[Term, str]] = field(default_factory=list)
+    distinct: bool = False
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        materialised = list(self.child.rows(ctx))
+        keys = [
+            tuple(_sortable(evaluate_term(term, row)) for term in self.order_terms)
+            for row in materialised
+        ]
+        order = sorted(range(len(materialised)), key=lambda position: keys[position])
+        seen: set[tuple] = set()
+        for position in order:
+            ctx.check()
+            row = materialised[position]
+            if self.distinct:
+                signature = tuple(evaluate_term(term, row) for term, _name in self.select_items)
+                if signature in seen:
+                    continue
+                seen.add(signature)
+            yield row
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        terms = ", ".join(term.render() for term in self.order_terms)
+        distinct = " DISTINCT" if self.distinct else ""
+        return f"SORT [{terms}]{distinct}"
+
+
+def _sortable(value: object) -> tuple:
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    return (2, str(value))
+
+
+@dataclass
+class Return(PhysicalOperator):
+    """RETURN — project each row onto the query's select list."""
+
+    child: PhysicalOperator
+    select_items: list[tuple[Term, str]] = field(default_factory=list)
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:  # pragma: no cover - unused path
+        yield from self.child.rows(ctx)
+
+    def results(self, ctx: ExecutionContext) -> Iterator[dict[str, object]]:
+        for row in self.child.rows(ctx):
+            yield {name: evaluate_term(term, row) for term, name in self.select_items}
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"RETURN [{', '.join(name for _term, name in self.select_items)}]"

@@ -1,0 +1,143 @@
+"""Table and column statistics plus selectivity estimation.
+
+The optimizer's decisions (access path selection, join ordering, the step
+reordering / axis reversal effects of Section IV-A) are driven by exactly
+the statistics a conventional RDBMS collects: row counts, per-column
+distinct counts, min/max bounds and equi-depth histograms for the value
+columns.  Tag-name and kind distributions are captured automatically since
+``name`` and ``kind`` are ordinary columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.algebra.table import Table
+
+#: Default selectivity for predicates the estimator cannot analyse.
+DEFAULT_SELECTIVITY = 1.0 / 3.0
+
+#: Number of buckets of the equi-depth histograms.
+HISTOGRAM_BUCKETS = 32
+
+
+@dataclass
+class ColumnStats:
+    """Statistics of one column."""
+
+    name: str
+    n_rows: int
+    n_nulls: int
+    n_distinct: int
+    minimum: Optional[object]
+    maximum: Optional[object]
+    histogram: list[object] = field(default_factory=list)
+    most_common: list[tuple[object, int]] = field(default_factory=list)
+
+    def equality_selectivity(self, value: object) -> float:
+        """Estimated fraction of rows with ``column = value``."""
+        if self.n_rows == 0:
+            return 0.0
+        for candidate, count in self.most_common:
+            if candidate == value:
+                return count / self.n_rows
+        if self.n_distinct == 0:
+            return 0.0
+        return min(1.0, 1.0 / self.n_distinct)
+
+    def range_selectivity(self, low: Optional[object], high: Optional[object]) -> float:
+        """Estimated fraction of rows with ``low <= column <= high``."""
+        if self.n_rows == 0:
+            return 0.0
+        if not self.histogram:
+            return DEFAULT_SELECTIVITY
+        total = len(self.histogram)
+        covered = 0
+        for value in self.histogram:
+            if value is None:
+                continue
+            if low is not None and _less(value, low):
+                continue
+            if high is not None and _less(high, value):
+                continue
+            covered += 1
+        if covered == 0:
+            return 1.0 / max(self.n_rows, 1)
+        return covered / total
+
+
+def _less(left: object, right: object) -> bool:
+    try:
+        return left < right  # type: ignore[operator]
+    except TypeError:
+        return str(left) < str(right)
+
+
+@dataclass
+class TableStats:
+    """Statistics of one table (row count + per-column statistics)."""
+
+    table_name: str
+    row_count: int
+    columns: dict[str, ColumnStats]
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name)
+
+    def equality_selectivity(self, column: str, value: object) -> float:
+        stats = self.column(column)
+        if stats is None:
+            return DEFAULT_SELECTIVITY
+        return stats.equality_selectivity(value)
+
+    def range_selectivity(
+        self, column: str, low: Optional[object], high: Optional[object]
+    ) -> float:
+        stats = self.column(column)
+        if stats is None:
+            return DEFAULT_SELECTIVITY
+        return stats.range_selectivity(low, high)
+
+
+def collect_table_stats(
+    table_name: str, table: Table, most_common_count: int = 10
+) -> TableStats:
+    """Scan the table once and build :class:`TableStats` for every column."""
+    column_stats: dict[str, ColumnStats] = {}
+    n_rows = len(table.rows)
+    for position, column in enumerate(table.columns):
+        values = [row[position] for row in table.rows]
+        non_null = [value for value in values if value is not None]
+        counts: dict[object, int] = {}
+        for value in non_null:
+            counts[value] = counts.get(value, 0) + 1
+        most_common = sorted(counts.items(), key=lambda item: -item[1])[:most_common_count]
+        histogram = _equi_depth_histogram(non_null)
+        column_stats[column] = ColumnStats(
+            name=column,
+            n_rows=n_rows,
+            n_nulls=n_rows - len(non_null),
+            n_distinct=len(counts),
+            minimum=min(non_null, key=_sort_key) if non_null else None,
+            maximum=max(non_null, key=_sort_key) if non_null else None,
+            histogram=histogram,
+            most_common=most_common,
+        )
+    return TableStats(table_name=table_name, row_count=n_rows, columns=column_stats)
+
+
+def _sort_key(value: object):
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (0, value)
+    return (1, str(value))
+
+
+def _equi_depth_histogram(values: Sequence[object], buckets: int = HISTOGRAM_BUCKETS) -> list[object]:
+    if not values:
+        return []
+    ordered = sorted(values, key=_sort_key)
+    if len(ordered) <= buckets:
+        return list(ordered)
+    step = len(ordered) / buckets
+    return [ordered[min(len(ordered) - 1, int(round(index * step)))] for index in range(buckets)]

@@ -1,0 +1,32 @@
+"""Deterministic synthetic document generators.
+
+The paper's evaluation uses a 110 MB XMark ``auction.xml`` instance and a
+400 MB XML dump of the DBLP bibliography.  Neither is redistributable nor
+practical for a pure-Python reproduction, so this package generates
+*structurally faithful*, seeded, scalable stand-ins:
+
+* :mod:`repro.xmldb.generators.xmark` — auction documents with the XMark
+  vocabulary (sites, regions, items, categories, people, open and closed
+  auctions, bidders, prices, ``itemref/@item`` and ``incategory/@category``
+  references) so that the benchmark queries Q1-Q4 are meaningful.
+* :mod:`repro.xmldb.generators.dblp` — bibliography documents with
+  ``article`` / ``inproceedings`` / ``phdthesis`` / ``proceedings`` entries
+  carrying ``key`` attributes, authors, editors, titles and years so that
+  Q5 and Q6 are meaningful.
+"""
+
+from repro.xmldb.generators.dblp import DblpConfig, generate_dblp_document, generate_dblp_encoding
+from repro.xmldb.generators.xmark import (
+    XMarkConfig,
+    generate_xmark_document,
+    generate_xmark_encoding,
+)
+
+__all__ = [
+    "DblpConfig",
+    "XMarkConfig",
+    "generate_dblp_document",
+    "generate_dblp_encoding",
+    "generate_xmark_document",
+    "generate_xmark_encoding",
+]

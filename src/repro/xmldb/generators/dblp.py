@@ -1,0 +1,201 @@
+"""Synthetic DBLP-like bibliography documents.
+
+The paper's queries Q5 and Q6 run against an XML dump of Michael Ley's DBLP
+bibliography.  This generator produces a structurally faithful stand-in:
+
+* a ``dblp`` root with a mix of ``article``, ``inproceedings``,
+  ``phdthesis`` and ``proceedings`` children,
+* every entry carries a ``key`` attribute (``journals/...``, ``conf/...``,
+  ``phd/...``),
+* entries have ``author`` (one or more), ``title``, ``year`` and, for
+  ``proceedings``, ``editor`` and ``booktitle`` children,
+* a designated ``proceedings`` entry with ``key="conf/vldb2001"`` exists so
+  that Q5 has its single expected result, and a configurable fraction of
+  ``phdthesis`` entries has ``year < 1994`` so that Q6 is selective but not
+  empty.
+
+Deterministic for a given ``(scale, seed)`` pair.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.xmldb.encoding import DocumentEncoding, encode_document
+from repro.xmldb.infoset import XMLNode, document, element
+
+_VENUES = ("vldb", "sigmod", "icde", "edbt", "cidr", "pods", "www", "kdd")
+_JOURNALS = ("tods", "vldbj", "tkde", "sigmodrec", "jacm", "cacm")
+_TOPICS = (
+    "Query Optimization", "Join Processing", "XML Storage", "Index Structures",
+    "Transaction Management", "Stream Processing", "Data Integration",
+    "Schema Matching", "Cardinality Estimation", "Columnar Execution",
+    "Recovery Protocols", "Distributed Joins", "Top-k Retrieval",
+    "Graph Databases", "Temporal Data", "Approximate Answers",
+)
+_ADJECTIVES = (
+    "Efficient", "Scalable", "Adaptive", "Robust", "Incremental", "Holistic",
+    "Cost-based", "Declarative", "Parallel", "Succinct", "Streaming",
+)
+_AUTHORS = (
+    "A. Codd", "B. Gray", "C. Stonebraker", "D. Bernstein", "E. Selinger",
+    "F. DeWitt", "G. Chamberlin", "H. Astrahan", "I. Mohan", "J. Widom",
+    "K. Ullman", "L. Abiteboul", "M. Garcia-Molina", "N. Ioannidis",
+    "O. Hellerstein", "P. Franklin", "Q. Naughton", "R. Ramakrishnan",
+    "S. Suciu", "T. Buneman", "U. Vianu", "V. Lenzerini", "W. Halevy",
+)
+
+
+@dataclass(frozen=True)
+class DblpConfig:
+    """Sizing knobs of the DBLP-like generator.
+
+    The defaults produce roughly 25,000 nodes at ``scale=1.0`` (about 1,700
+    publications); counts grow linearly with ``scale``.
+    """
+
+    scale: float = 1.0
+    seed: int = 7
+    uri: str = "dblp.xml"
+    articles: int = 700
+    inproceedings: int = 700
+    phdtheses: int = 200
+    proceedings: int = 80
+    early_thesis_fraction: float = 0.25
+    year_range: tuple[int, int] = (1975, 2008)
+
+    def scaled(self, count: int) -> int:
+        return max(1, int(round(count * self.scale)))
+
+
+def _title(rng: random.Random) -> str:
+    return f"{rng.choice(_ADJECTIVES)} {rng.choice(_TOPICS)}"
+
+
+def _authors(rng: random.Random, low: int = 1, high: int = 4) -> list[XMLNode]:
+    count = rng.randint(low, high)
+    chosen = rng.sample(_AUTHORS, min(count, len(_AUTHORS)))
+    return [element("author", text_content=author) for author in chosen]
+
+
+def _year(rng: random.Random, config: DblpConfig, early: bool = False) -> str:
+    low, high = config.year_range
+    if early:
+        return str(rng.randint(low, 1993))
+    return str(rng.randint(low, high))
+
+
+def _build_articles(rng: random.Random, config: DblpConfig) -> list[XMLNode]:
+    entries = []
+    for index in range(config.scaled(config.articles)):
+        journal = rng.choice(_JOURNALS)
+        year = _year(rng, config)
+        entries.append(
+            element(
+                "article",
+                *_authors(rng),
+                element("title", text_content=_title(rng)),
+                element("journal", text_content=journal.upper()),
+                element("year", text_content=year),
+                element("volume", text_content=str(rng.randint(1, 40))),
+                attributes={"key": f"journals/{journal}/entry{index}", "mdate": f"{year}-06-01"},
+            )
+        )
+    return entries
+
+
+def _build_inproceedings(rng: random.Random, config: DblpConfig) -> list[XMLNode]:
+    entries = []
+    for index in range(config.scaled(config.inproceedings)):
+        venue = rng.choice(_VENUES)
+        year = _year(rng, config)
+        entries.append(
+            element(
+                "inproceedings",
+                *_authors(rng),
+                element("title", text_content=_title(rng)),
+                element("booktitle", text_content=venue.upper()),
+                element("year", text_content=year),
+                element("pages", text_content=f"{rng.randint(1, 400)}-{rng.randint(401, 800)}"),
+                element("crossref", text_content=f"conf/{venue}{year}"),
+                attributes={"key": f"conf/{venue}/paper{index}", "mdate": f"{year}-09-15"},
+            )
+        )
+    return entries
+
+
+def _build_phdtheses(rng: random.Random, config: DblpConfig) -> list[XMLNode]:
+    entries = []
+    for index in range(config.scaled(config.phdtheses)):
+        early = rng.random() < config.early_thesis_fraction
+        year = _year(rng, config, early=early)
+        entries.append(
+            element(
+                "phdthesis",
+                *_authors(rng, low=1, high=1),
+                element("title", text_content=_title(rng)),
+                element("year", text_content=year),
+                element("school", text_content="University of Examples"),
+                attributes={"key": f"phd/thesis{index}", "mdate": f"{year}-12-01"},
+            )
+        )
+    return entries
+
+
+def _build_proceedings(rng: random.Random, config: DblpConfig) -> list[XMLNode]:
+    entries = []
+    seen_keys: set[str] = set()
+    count = config.scaled(config.proceedings)
+    for index in range(count):
+        venue = rng.choice(_VENUES)
+        year = _year(rng, config)
+        key = f"conf/{venue}{year}"
+        if key in seen_keys:
+            key = f"conf/{venue}{year}-{index}"
+        seen_keys.add(key)
+        entries.append(
+            element(
+                "proceedings",
+                element("editor", text_content=rng.choice(_AUTHORS)),
+                element("editor", text_content=rng.choice(_AUTHORS)),
+                element("title", text_content=f"Proceedings of {venue.upper()} {year}"),
+                element("booktitle", text_content=venue.upper()),
+                element("year", text_content=year),
+                element("publisher", text_content="Example Press"),
+                attributes={"key": key, "mdate": f"{year}-01-10"},
+            )
+        )
+    # Guarantee that Q5's key exists exactly once.
+    if "conf/vldb2001" not in seen_keys:
+        entries.append(
+            element(
+                "proceedings",
+                element("editor", text_content="P. Apers"),
+                element("editor", text_content="P. Atzeni"),
+                element("title", text_content="Proceedings of VLDB 2001"),
+                element("booktitle", text_content="VLDB"),
+                element("year", text_content="2001"),
+                element("publisher", text_content="Morgan Kaufmann"),
+                attributes={"key": "conf/vldb2001", "mdate": "2001-09-11"},
+            )
+        )
+    return entries
+
+
+def generate_dblp_document(config: DblpConfig | None = None) -> XMLNode:
+    """Generate a DBLP-like ``dblp.xml`` document tree."""
+    config = config or DblpConfig()
+    rng = random.Random(config.seed)
+    entries: list[XMLNode] = []
+    entries.extend(_build_articles(rng, config))
+    entries.extend(_build_inproceedings(rng, config))
+    entries.extend(_build_phdtheses(rng, config))
+    entries.extend(_build_proceedings(rng, config))
+    rng.shuffle(entries)
+    return document(config.uri, element("dblp", *entries))
+
+
+def generate_dblp_encoding(config: DblpConfig | None = None) -> DocumentEncoding:
+    """Generate and encode a DBLP-like document in one step."""
+    return encode_document(generate_dblp_document(config))

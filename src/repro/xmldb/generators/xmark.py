@@ -1,0 +1,246 @@
+"""Synthetic XMark-like auction documents.
+
+XMark [Schmidt et al., VLDB 2002] models an internet auction site.  The
+generator below reproduces the parts of its structure that the paper's
+benchmark queries touch:
+
+* ``/site/regions/<region>/item`` with ``@id``, ``name``, ``location``,
+  ``quantity``, ``payment``, ``description`` and ``incategory/@category``
+  references,
+* ``/site/categories/category`` with ``@id``, ``name`` and ``description``,
+* ``/site/people/person`` with ``@id``, ``name``, ``emailaddress`` and an
+  optional ``profile``,
+* ``/site/open_auctions/open_auction`` with ``@id``, ``initial``, a varying
+  number of ``bidder`` elements (``time``, ``personref/@person``,
+  ``increase``), ``current``, ``itemref/@item`` and ``seller/@person``,
+* ``/site/closed_auctions/closed_auction`` with ``seller/@person``,
+  ``buyer/@person``, ``itemref/@item``, ``price``, ``date``, ``quantity``
+  and ``annotation``.
+
+The generator is deterministic for a given ``(scale, seed)`` pair, so
+benchmark runs are repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.xmldb.encoding import DocumentEncoding, encode_document
+from repro.xmldb.infoset import XMLNode, document, element
+
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+_WORDS = (
+    "gold", "silver", "vintage", "antique", "rare", "modern", "classic", "signed",
+    "limited", "original", "mint", "restored", "painted", "carved", "woven",
+    "portrait", "landscape", "sculpture", "ceramic", "crystal", "bronze", "oak",
+    "walnut", "marble", "velvet", "satin", "linen", "amber", "pearl", "ivory",
+)
+
+_FIRST_NAMES = (
+    "Ada", "Alan", "Barbara", "Carl", "Dana", "Edsger", "Frances", "Grace",
+    "Hedy", "Ivan", "Judy", "Ken", "Lynn", "Maurice", "Niklaus", "Olga",
+    "Peter", "Quentin", "Radia", "Seymour", "Tim", "Ursula", "Vint", "Wanda",
+)
+
+_LAST_NAMES = (
+    "Lovelace", "Turing", "Liskov", "Sassenrath", "Scott", "Dijkstra", "Allen",
+    "Hopper", "Lamarr", "Sutherland", "Clark", "Thompson", "Conway", "Wilkes",
+    "Wirth", "Babbage", "Naur", "Kay", "Perlman", "Cray", "Berners-Lee",
+    "Goldberg", "Cerf", "Jones",
+)
+
+
+@dataclass(frozen=True)
+class XMarkConfig:
+    """Sizing knobs of the XMark-like generator.
+
+    The defaults produce a document of roughly 20,000 nodes at ``scale=1.0``;
+    all counts grow linearly with ``scale``.
+    """
+
+    scale: float = 1.0
+    seed: int = 42
+    uri: str = "auction.xml"
+    items_per_region: int = 25
+    categories: int = 30
+    people: int = 120
+    open_auctions: int = 140
+    closed_auctions: int = 120
+    max_bidders: int = 6
+    expensive_price_fraction: float = 0.12
+
+    def scaled(self, count: int) -> int:
+        return max(1, int(round(count * self.scale)))
+
+
+def _phrase(rng: random.Random, words: int) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(words))
+
+
+def _person_name(rng: random.Random) -> str:
+    return f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
+
+
+def _price(rng: random.Random, expensive_fraction: float) -> float:
+    """Item/auction price: mostly cheap, a configurable tail above 500."""
+    if rng.random() < expensive_fraction:
+        return round(rng.uniform(500.01, 5000.0), 2)
+    return round(rng.uniform(1.0, 499.99), 2)
+
+
+def _build_categories(rng: random.Random, config: XMarkConfig) -> XMLNode:
+    categories = element("categories")
+    for index in range(config.scaled(config.categories)):
+        categories.add_child(
+            element(
+                "category",
+                element("name", text_content=_phrase(rng, 2)),
+                element(
+                    "description",
+                    element("text", text_content=_phrase(rng, 6)),
+                ),
+                attributes={"id": f"category{index}"},
+            )
+        )
+    return categories
+
+
+def _build_regions(rng: random.Random, config: XMarkConfig, category_count: int) -> XMLNode:
+    regions = element("regions")
+    item_index = 0
+    per_region = config.scaled(config.items_per_region)
+    for region_name in _REGIONS:
+        region = element(region_name)
+        for _ in range(per_region):
+            incategories = [
+                element(
+                    "incategory",
+                    attributes={"category": f"category{rng.randrange(category_count)}"},
+                )
+                for _ in range(rng.randint(1, 3))
+            ]
+            item = element(
+                "item",
+                element("location", text_content=region_name.capitalize()),
+                element("quantity", text_content=str(rng.randint(1, 10))),
+                element("name", text_content=_phrase(rng, 3)),
+                element("payment", text_content="Creditcard"),
+                element(
+                    "description",
+                    element("text", text_content=_phrase(rng, 8)),
+                ),
+                *incategories,
+                attributes={"id": f"item{item_index}"},
+            )
+            region.add_child(item)
+            item_index += 1
+        regions.add_child(region)
+    return regions
+
+
+def _build_people(rng: random.Random, config: XMarkConfig) -> XMLNode:
+    people = element("people")
+    for index in range(config.scaled(config.people)):
+        name = _person_name(rng)
+        person = element(
+            "person",
+            element("name", text_content=name),
+            element(
+                "emailaddress",
+                text_content="mailto:" + name.replace(" ", ".").lower() + "@example.org",
+            ),
+            attributes={"id": f"person{index}"},
+        )
+        if rng.random() < 0.4:
+            person.add_child(
+                element(
+                    "profile",
+                    element("interest", attributes={"category": f"category{rng.randrange(max(1, config.scaled(config.categories)))}"}),
+                    element("education", text_content="Graduate School"),
+                    attributes={"income": str(round(rng.uniform(10000, 100000), 2))},
+                )
+            )
+        people.add_child(person)
+    return people
+
+
+def _build_open_auctions(
+    rng: random.Random, config: XMarkConfig, item_count: int, person_count: int
+) -> XMLNode:
+    open_auctions = element("open_auctions")
+    for index in range(config.scaled(config.open_auctions)):
+        bidders = []
+        for _ in range(rng.randint(0, config.max_bidders)):
+            bidders.append(
+                element(
+                    "bidder",
+                    element("time", text_content=f"{rng.randint(0, 23):02d}:{rng.randint(0, 59):02d}"),
+                    element("personref", attributes={"person": f"person{rng.randrange(person_count)}"}),
+                    element("increase", text_content=str(round(rng.uniform(1.5, 60.0), 2))),
+                )
+            )
+        auction = element(
+            "open_auction",
+            element("initial", text_content=str(_price(rng, config.expensive_price_fraction))),
+            *bidders,
+            element("current", text_content=str(_price(rng, config.expensive_price_fraction))),
+            element("itemref", attributes={"item": f"item{rng.randrange(item_count)}"}),
+            element("seller", attributes={"person": f"person{rng.randrange(person_count)}"}),
+            element("quantity", text_content=str(rng.randint(1, 5))),
+            element("type", text_content="Regular"),
+            attributes={"id": f"open_auction{index}"},
+        )
+        open_auctions.add_child(auction)
+    return open_auctions
+
+
+def _build_closed_auctions(
+    rng: random.Random, config: XMarkConfig, item_count: int, person_count: int
+) -> XMLNode:
+    closed_auctions = element("closed_auctions")
+    for index in range(config.scaled(config.closed_auctions)):
+        closed_auctions.add_child(
+            element(
+                "closed_auction",
+                element("seller", attributes={"person": f"person{rng.randrange(person_count)}"}),
+                element("buyer", attributes={"person": f"person{rng.randrange(person_count)}"}),
+                element("itemref", attributes={"item": f"item{rng.randrange(item_count)}"}),
+                element("price", text_content=str(_price(rng, config.expensive_price_fraction))),
+                element("date", text_content=f"{rng.randint(1, 28):02d}/{rng.randint(1, 12):02d}/{rng.randint(1999, 2008)}"),
+                element("quantity", text_content=str(rng.randint(1, 5))),
+                element("type", text_content="Regular"),
+                element(
+                    "annotation",
+                    element("author", attributes={"person": f"person{rng.randrange(person_count)}"}),
+                    element("description", element("text", text_content=_phrase(rng, 5))),
+                ),
+                attributes={"id": f"closed_auction{index}"},
+            )
+        )
+    return closed_auctions
+
+
+def generate_xmark_document(config: XMarkConfig | None = None) -> XMLNode:
+    """Generate an XMark-like ``auction.xml`` document tree."""
+    config = config or XMarkConfig()
+    rng = random.Random(config.seed)
+    category_count = config.scaled(config.categories)
+    item_count = config.scaled(config.items_per_region) * len(_REGIONS)
+    person_count = config.scaled(config.people)
+    site = element(
+        "site",
+        _build_regions(rng, config, category_count),
+        _build_categories(rng, config),
+        element("catgraph"),
+        _build_people(rng, config),
+        _build_open_auctions(rng, config, item_count, person_count),
+        _build_closed_auctions(rng, config, item_count, person_count),
+    )
+    return document(config.uri, site)
+
+
+def generate_xmark_encoding(config: XMarkConfig | None = None) -> DocumentEncoding:
+    """Generate and encode an XMark-like document in one step."""
+    return encode_document(generate_xmark_document(config))

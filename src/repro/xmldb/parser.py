@@ -1,0 +1,271 @@
+"""A small, dependency-free parser for well-formed XML documents.
+
+The parser supports exactly the XML feature set the paper's encoding deals
+with: elements, attributes (single- or double-quoted), character data,
+CDATA sections, comments, processing instructions, an optional XML
+declaration and an optional DOCTYPE declaration (which is skipped), plus the
+five predefined entity references and numeric character references.
+
+Namespaces are treated syntactically (prefixes stay part of the name), which
+matches the schema-oblivious spirit of the ``doc`` encoding.
+
+The output is an :class:`repro.xmldb.infoset.XMLNode` document tree ready to
+be encoded by :func:`repro.xmldb.encoding.encode_document`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMLParseError
+from repro.xmldb.infoset import NodeKind, XMLNode
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+_WHITESPACE = set(" \t\r\n")
+
+
+class _Scanner:
+    """Character-level scanner with position tracking for error messages."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.length = len(source)
+
+    def eof(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= self.length:
+            return ""
+        return self.source[index]
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def startswith(self, prefix: str) -> bool:
+        return self.source.startswith(prefix, self.pos)
+
+    def expect(self, literal: str) -> None:
+        if not self.startswith(literal):
+            self.error(f"expected {literal!r}")
+        self.advance(len(literal))
+
+    def skip_whitespace(self) -> None:
+        while not self.eof() and self.peek() in _WHITESPACE:
+            self.advance()
+
+    def read_until(self, terminator: str) -> str:
+        end = self.source.find(terminator, self.pos)
+        if end < 0:
+            self.error(f"unterminated construct, expected {terminator!r}")
+        chunk = self.source[self.pos : end]
+        self.pos = end + len(terminator)
+        return chunk
+
+    def read_name(self) -> str:
+        if self.eof() or self.peek() not in _NAME_START:
+            self.error("expected an XML name")
+        start = self.pos
+        self.advance()
+        while not self.eof() and self.peek() in _NAME_CHARS:
+            self.advance()
+        return self.source[start : self.pos]
+
+    def error(self, message: str) -> None:
+        line = self.source.count("\n", 0, self.pos) + 1
+        last_newline = self.source.rfind("\n", 0, self.pos)
+        column = self.pos - last_newline
+        raise XMLParseError(message, offset=self.pos, line=line, column=column)
+
+
+def _decode_references(raw: str, scanner: _Scanner) -> str:
+    """Resolve entity and character references in character data."""
+    if "&" not in raw:
+        return raw
+    parts: list[str] = []
+    index = 0
+    while index < len(raw):
+        char = raw[index]
+        if char != "&":
+            parts.append(char)
+            index += 1
+            continue
+        end = raw.find(";", index)
+        if end < 0:
+            scanner.error("unterminated entity reference")
+        entity = raw[index + 1 : end]
+        if entity.startswith("#x") or entity.startswith("#X"):
+            parts.append(chr(int(entity[2:], 16)))
+        elif entity.startswith("#"):
+            parts.append(chr(int(entity[1:])))
+        elif entity in _PREDEFINED_ENTITIES:
+            parts.append(_PREDEFINED_ENTITIES[entity])
+        else:
+            scanner.error(f"unknown entity reference &{entity};")
+        index = end + 1
+    return "".join(parts)
+
+
+def _parse_attributes(scanner: _Scanner, owner: XMLNode) -> None:
+    """Parse zero or more ``name="value"`` attribute specifications."""
+    while True:
+        scanner.skip_whitespace()
+        char = scanner.peek()
+        if char in ("", ">", "/") or scanner.startswith("?>"):
+            return
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            scanner.error("attribute value must be quoted")
+        scanner.advance()
+        value = _decode_references(scanner.read_until(quote), scanner)
+        if owner.attribute(name) is not None:
+            scanner.error(f"duplicate attribute {name!r}")
+        owner.add_attribute(XMLNode(NodeKind.ATTR, name=name, value=value))
+
+
+def _parse_element(scanner: _Scanner, keep_whitespace_text: bool) -> XMLNode:
+    """Parse one element (the scanner is positioned just after ``<``)."""
+    name = scanner.read_name()
+    node = XMLNode(NodeKind.ELEM, name=name)
+    _parse_attributes(scanner, node)
+    scanner.skip_whitespace()
+    if scanner.startswith("/>"):
+        scanner.advance(2)
+        return node
+    scanner.expect(">")
+    _parse_content(scanner, node, keep_whitespace_text)
+    scanner.expect("</")
+    closing = scanner.read_name()
+    if closing != name:
+        scanner.error(f"mismatched end tag </{closing}> for <{name}>")
+    scanner.skip_whitespace()
+    scanner.expect(">")
+    return node
+
+
+def _parse_content(scanner: _Scanner, parent: XMLNode, keep_whitespace_text: bool) -> None:
+    """Parse element content (text, children, comments, PIs, CDATA) into ``parent``."""
+    text_buffer: list[str] = []
+
+    def flush_text() -> None:
+        if not text_buffer:
+            return
+        content = "".join(text_buffer)
+        text_buffer.clear()
+        if not keep_whitespace_text and not content.strip():
+            return
+        parent.add_child(XMLNode(NodeKind.TEXT, value=content))
+
+    while not scanner.eof():
+        if scanner.startswith("</"):
+            flush_text()
+            return
+        if scanner.startswith("<!--"):
+            flush_text()
+            scanner.advance(4)
+            comment = scanner.read_until("-->")
+            parent.add_child(XMLNode(NodeKind.COMM, value=comment))
+            continue
+        if scanner.startswith("<![CDATA["):
+            scanner.advance(9)
+            text_buffer.append(scanner.read_until("]]>"))
+            continue
+        if scanner.startswith("<?"):
+            flush_text()
+            scanner.advance(2)
+            target = scanner.read_name()
+            body = scanner.read_until("?>").strip()
+            parent.add_child(XMLNode(NodeKind.PI, name=target, value=body))
+            continue
+        if scanner.startswith("<"):
+            flush_text()
+            scanner.advance(1)
+            parent.add_child(_parse_element(scanner, keep_whitespace_text))
+            continue
+        start = scanner.pos
+        while not scanner.eof() and scanner.peek() != "<":
+            scanner.advance()
+        text_buffer.append(_decode_references(scanner.source[start : scanner.pos], scanner))
+    flush_text()
+    scanner.error("unexpected end of input inside element content")
+
+
+def _skip_prolog(scanner: _Scanner) -> None:
+    """Skip the XML declaration, DOCTYPE, comments and PIs before the root."""
+    while True:
+        scanner.skip_whitespace()
+        if scanner.startswith("<?xml"):
+            scanner.advance(5)
+            scanner.read_until("?>")
+        elif scanner.startswith("<?"):
+            scanner.advance(2)
+            scanner.read_name()
+            scanner.read_until("?>")
+        elif scanner.startswith("<!--"):
+            scanner.advance(4)
+            scanner.read_until("-->")
+        elif scanner.startswith("<!DOCTYPE"):
+            # Skip to the matching '>' while honouring an internal subset.
+            depth = 0
+            while not scanner.eof():
+                char = scanner.peek()
+                scanner.advance()
+                if char == "[":
+                    depth += 1
+                elif char == "]":
+                    depth -= 1
+                elif char == ">" and depth <= 0:
+                    break
+        else:
+            return
+
+
+def parse_xml(source: str, uri: str = "document.xml", keep_whitespace_text: bool = False) -> XMLNode:
+    """Parse XML text into a document node.
+
+    Parameters
+    ----------
+    source:
+        The XML document text.
+    uri:
+        The document URI recorded on the document node (this is what
+        ``doc("uri")`` matches against, cf. the ``name`` column of DOC rows).
+    keep_whitespace_text:
+        When false (the default) text nodes consisting solely of whitespace
+        are dropped, which mirrors the whitespace handling the paper's
+        datasets assume and keeps node counts meaningful.
+    """
+    scanner = _Scanner(source)
+    _skip_prolog(scanner)
+    if scanner.eof() or not scanner.startswith("<"):
+        scanner.error("expected a root element")
+    scanner.advance(1)
+    root = _parse_element(scanner, keep_whitespace_text)
+    # Trailing misc (comments / PIs / whitespace) is permitted and ignored.
+    scanner.skip_whitespace()
+    while scanner.startswith("<!--") or scanner.startswith("<?"):
+        if scanner.startswith("<!--"):
+            scanner.advance(4)
+            scanner.read_until("-->")
+        else:
+            scanner.advance(2)
+            scanner.read_until("?>")
+        scanner.skip_whitespace()
+    if not scanner.eof():
+        scanner.error("unexpected content after the root element")
+    doc = XMLNode(NodeKind.DOC, name=uri)
+    doc.add_child(root)
+    return doc

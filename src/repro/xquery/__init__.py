@@ -1,0 +1,31 @@
+"""XQuery front-end: lexer, parser, Core normalization, loop-lifting compiler.
+
+The supported language is the fragment of Fig. 1 of the paper — nested
+``for`` loops over node sequences, conditionals with an empty ``else``
+branch, ``doc(...)``, XPath location steps along all 12 axes with name and
+kind tests, and general comparisons — extended (as Section III-C of the
+paper does) with ``let`` bindings, ``where`` clauses, path predicates
+``[...]`` and general comparisons between two node-valued expressions.
+
+The stages are:
+
+1. :mod:`repro.xquery.parser` — surface syntax to AST,
+2. :mod:`repro.xquery.normalize` — XQuery Core normalization
+   (``fs:ddo``, ``fn:boolean``, predicate and ``where`` desugaring),
+3. :mod:`repro.xquery.compiler` — the loop-lifting compilation scheme of
+   Fig. 13 producing table algebra plan DAGs.
+"""
+
+from repro.xquery.ast import Expression
+from repro.xquery.compiler import CompilerSettings, LoopLiftingCompiler, compile_query
+from repro.xquery.normalize import normalize
+from repro.xquery.parser import parse_xquery
+
+__all__ = [
+    "CompilerSettings",
+    "Expression",
+    "LoopLiftingCompiler",
+    "compile_query",
+    "normalize",
+    "parse_xquery",
+]

@@ -1,0 +1,224 @@
+"""Abstract syntax trees for the supported XQuery fragment.
+
+The same node classes serve as the *surface* AST (what the parser emits)
+and as the *core* AST (what normalization emits); the core form simply
+guarantees a number of invariants:
+
+* every path expression is wrapped in :class:`FsDdo`,
+* every conditional test is wrapped in :class:`FnBoolean`,
+* ``[...]`` predicates, ``where`` clauses and ``and`` conjunctions have been
+  desugared into ``for``/``if`` nests,
+* :class:`ContextItem` and :class:`Root` no longer occur (they have been
+  replaced by variables / ``doc(...)`` calls).
+
+All nodes are immutable dataclasses, rendered back to (pseudo) XQuery text
+via :func:`render`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+#: General comparison operators of the fragment (grammar rule [60]).
+GENERAL_COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class Expression:
+    """Base class of all AST nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class StringLiteral(Expression):
+    """A string literal, e.g. ``"person0"``."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class NumberLiteral(Expression):
+    """A numeric literal, e.g. ``500``."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class EmptySequence(Expression):
+    """The empty sequence ``()``."""
+
+
+@dataclass(frozen=True)
+class Doc(Expression):
+    """``doc("uri")`` — the document node of a persistently stored document."""
+
+    uri: str
+
+
+@dataclass(frozen=True)
+class Root(Expression):
+    """A leading ``/`` — the document node of the statically known context document."""
+
+
+@dataclass(frozen=True)
+class ContextItem(Expression):
+    """The context item ``.`` (only valid inside predicates in the surface syntax)."""
+
+
+@dataclass(frozen=True)
+class VarRef(Expression):
+    """A variable reference ``$name``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Step(Expression):
+    """One XPath location step ``input / axis :: node_test``."""
+
+    input: Expression
+    axis: str
+    node_test: str
+
+
+@dataclass(frozen=True)
+class Filter(Expression):
+    """A predicate application ``input [ predicate ]`` (surface form only)."""
+
+    input: Expression
+    predicate: Expression
+
+
+@dataclass(frozen=True)
+class ForExpr(Expression):
+    """``for $var in sequence return body`` (one variable per node)."""
+
+    var: str
+    sequence: Expression
+    body: Expression
+
+
+@dataclass(frozen=True)
+class LetExpr(Expression):
+    """``let $var := value return body``."""
+
+    var: str
+    value: Expression
+    body: Expression
+
+
+@dataclass(frozen=True)
+class IfExpr(Expression):
+    """``if (condition) then then_branch else ()`` — the fragment's conditional."""
+
+    condition: Expression
+    then_branch: Expression
+
+
+@dataclass(frozen=True)
+class AndExpr(Expression):
+    """``left and right`` (surface form only; desugared into nested ifs)."""
+
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """A general comparison ``left op right``."""
+
+    left: Expression
+    op: str
+    right: Expression
+
+
+@dataclass(frozen=True)
+class FnBoolean(Expression):
+    """``fn:boolean(argument)`` — effective boolean value (core form)."""
+
+    argument: Expression
+
+
+@dataclass(frozen=True)
+class FsDdo(Expression):
+    """``fs:distinct-doc-order(argument)`` — duplicate removal + document order (core form)."""
+
+    argument: Expression
+
+
+Literal = Union[StringLiteral, NumberLiteral]
+
+
+def render(expr: Expression, indent: int = 0) -> str:
+    """Render an AST back to readable (pseudo-)XQuery text."""
+    pad = "  " * indent
+    if isinstance(expr, StringLiteral):
+        return f'"{expr.value}"'
+    if isinstance(expr, NumberLiteral):
+        value = expr.value
+        if float(value).is_integer():
+            return str(int(value))
+        return str(value)
+    if isinstance(expr, EmptySequence):
+        return "()"
+    if isinstance(expr, Doc):
+        return f'doc("{expr.uri}")'
+    if isinstance(expr, Root):
+        return "/"
+    if isinstance(expr, ContextItem):
+        return "."
+    if isinstance(expr, VarRef):
+        return f"${expr.name}"
+    if isinstance(expr, Step):
+        return f"{render(expr.input)}/{expr.axis}::{expr.node_test}"
+    if isinstance(expr, Filter):
+        return f"{render(expr.input)}[{render(expr.predicate)}]"
+    if isinstance(expr, ForExpr):
+        return (
+            f"for ${expr.var} in {render(expr.sequence)}\n"
+            f"{pad}return {render(expr.body, indent + 1)}"
+        )
+    if isinstance(expr, LetExpr):
+        return (
+            f"let ${expr.var} := {render(expr.value)}\n"
+            f"{pad}return {render(expr.body, indent + 1)}"
+        )
+    if isinstance(expr, IfExpr):
+        return (
+            f"if ({render(expr.condition)})\n"
+            f"{pad}then {render(expr.then_branch, indent + 1)}\n"
+            f"{pad}else ()"
+        )
+    if isinstance(expr, AndExpr):
+        return f"{render(expr.left)} and {render(expr.right)}"
+    if isinstance(expr, Comparison):
+        return f"{render(expr.left)} {expr.op} {render(expr.right)}"
+    if isinstance(expr, FnBoolean):
+        return f"fn:boolean({render(expr.argument)})"
+    if isinstance(expr, FsDdo):
+        return f"fs:ddo({render(expr.argument)})"
+    raise TypeError(f"cannot render AST node {type(expr).__name__}")
+
+
+def child_expressions(expr: Expression) -> tuple[Expression, ...]:
+    """The direct sub-expressions of ``expr`` (used by AST walks in tests)."""
+    if isinstance(expr, Step):
+        return (expr.input,)
+    if isinstance(expr, Filter):
+        return (expr.input, expr.predicate)
+    if isinstance(expr, ForExpr):
+        return (expr.sequence, expr.body)
+    if isinstance(expr, LetExpr):
+        return (expr.value, expr.body)
+    if isinstance(expr, IfExpr):
+        return (expr.condition, expr.then_branch)
+    if isinstance(expr, AndExpr):
+        return (expr.left, expr.right)
+    if isinstance(expr, Comparison):
+        return (expr.left, expr.right)
+    if isinstance(expr, FnBoolean):
+        return (expr.argument,)
+    if isinstance(expr, FsDdo):
+        return (expr.argument,)
+    return ()

@@ -1,0 +1,105 @@
+"""Tokenizer for the supported XQuery surface syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import XQuerySyntaxError
+
+#: Multi-character punctuation, longest first so that ``//`` wins over ``/``.
+_PUNCTUATION = (
+    "::", ":=", "//", "!=", "<=", ">=", "(", ")", "[", "]", ",", "/", "@", "$",
+    "*", "=", "<", ">", ".",
+)
+
+_KEYWORDS = frozenset(
+    {
+        "for", "let", "in", "where", "return", "if", "then", "else", "and", "or",
+        "doc",
+    }
+)
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789-._")
+_WHITESPACE = set(" \t\r\n")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its type, text and source offset."""
+
+    type: str
+    text: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type}, {self.text!r})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source`` into a list of :class:`Token` (with a trailing EOF)."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    position = 0
+    length = len(source)
+    while position < length:
+        char = source[position]
+        if char in _WHITESPACE:
+            position += 1
+            continue
+        if source.startswith("(:", position):
+            end = source.find(":)", position + 2)
+            if end < 0:
+                raise XQuerySyntaxError("unterminated XQuery comment", position)
+            position = end + 2
+            continue
+        if char in ("'", '"'):
+            end = source.find(char, position + 1)
+            if end < 0:
+                raise XQuerySyntaxError("unterminated string literal", position)
+            yield Token("string", source[position + 1 : end], position)
+            position = end + 1
+            continue
+        if char.isdigit():
+            start = position
+            while position < length and (source[position].isdigit() or source[position] == "."):
+                position += 1
+            yield Token("number", source[start:position], start)
+            continue
+        if char in _NAME_START:
+            start = position
+            while position < length and source[position] in _NAME_CHARS:
+                position += 1
+            text = source[start:position]
+            # Names with prefixes (fn:boolean, fs:ddo, descendant-or-self) keep
+            # their colon only when followed by another name character, so that
+            # ``child::bidder`` still splits on ``::``.
+            if (
+                position < length
+                and source[position] == ":"
+                and position + 1 < length
+                and source[position + 1] in _NAME_START
+                and source[position + 1 : position + 2] != ":"
+                and not source.startswith("::", position)
+            ):
+                position += 1
+                start2 = position
+                while position < length and source[position] in _NAME_CHARS:
+                    position += 1
+                text = f"{text}:{source[start2:position]}"
+            token_type = "keyword" if text in _KEYWORDS else "name"
+            yield Token(token_type, text, start)
+            continue
+        matched = False
+        for punctuation in _PUNCTUATION:
+            if source.startswith(punctuation, position):
+                yield Token(punctuation, punctuation, position)
+                position += len(punctuation)
+                matched = True
+                break
+        if not matched:
+            raise XQuerySyntaxError(f"unexpected character {char!r}", position)
+    yield Token("eof", "", length)

@@ -1,0 +1,191 @@
+"""XQuery Core normalization.
+
+Following Section II-C of the paper, the compiler expects its input *after*
+XQuery Core normalization, i.e. with
+
+* explicit duplicate-node removal and document-order enforcement after path
+  expressions (``fs:distinct-doc-order``, abbreviated ``fs:ddo``),
+* explicit effective-boolean-value computation in conditionals
+  (``fn:boolean``), and
+* path predicates desugared into ``for``/``if`` nests
+  (``E[p]  ≡  for $dot in fs:ddo(E) return if (fn:boolean(p)) then $dot else ()``).
+
+This module performs that normalization on the surface AST.  Deviations
+from the W3C formal semantics, chosen to keep the initial plans close to
+Fig. 4 of the paper:
+
+* ``fs:ddo`` is applied once around every maximal location-step chain
+  rather than after every individual step (the final ``fs:ddo`` already
+  establishes the required set/order semantics);
+* operands of general comparisons are not wrapped in ``fs:ddo`` (the COMP
+  rule's ``δ(π_iter(...))`` makes order and duplicates irrelevant there);
+* ``where`` clauses and conjunctions (``and``) become nested conditionals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import XQueryCompilationError
+from repro.xquery.ast import (
+    AndExpr,
+    Comparison,
+    ContextItem,
+    Doc,
+    EmptySequence,
+    Expression,
+    Filter,
+    FnBoolean,
+    ForExpr,
+    FsDdo,
+    IfExpr,
+    LetExpr,
+    NumberLiteral,
+    Root,
+    Step,
+    StringLiteral,
+    VarRef,
+)
+
+
+@dataclass
+class _NormalizerState:
+    default_document: Optional[str]
+    fresh_counter: int = 0
+
+    def fresh_var(self) -> str:
+        self.fresh_counter += 1
+        return f"dot_{self.fresh_counter}"
+
+
+def normalize(expr: Expression, default_document: Optional[str] = None) -> Expression:
+    """Normalize a surface AST into XQuery Core form.
+
+    ``default_document`` resolves a leading ``/`` (queries such as Q3-Q6 of
+    the paper are stated relative to a statically known context document).
+    """
+    state = _NormalizerState(default_document=default_document)
+    return _norm(expr, state)
+
+
+def _norm(expr: Expression, state: _NormalizerState) -> Expression:
+    """Normalize an expression in *sequence* position."""
+    if isinstance(expr, Step):
+        return FsDdo(_norm_path(expr, state))
+    if isinstance(expr, Filter):
+        return _norm_filter(expr, state)
+    if isinstance(expr, ForExpr):
+        return ForExpr(expr.var, _norm(expr.sequence, state), _norm(expr.body, state))
+    if isinstance(expr, LetExpr):
+        return LetExpr(expr.var, _norm(expr.value, state), _norm(expr.body, state))
+    if isinstance(expr, IfExpr):
+        return _norm_condition(expr.condition, _norm(expr.then_branch, state), state)
+    if isinstance(expr, Doc):
+        return expr
+    if isinstance(expr, Root):
+        return _resolve_root(state)
+    if isinstance(expr, VarRef):
+        return expr
+    if isinstance(expr, (StringLiteral, NumberLiteral, EmptySequence)):
+        return expr
+    if isinstance(expr, Comparison):
+        return Comparison(_norm(expr.left, state), expr.op, _norm(expr.right, state))
+    if isinstance(expr, (FnBoolean, FsDdo)):
+        # Already-core input is accepted verbatim (useful in tests).
+        return expr
+    if isinstance(expr, ContextItem):
+        raise XQueryCompilationError(
+            "the context item '.' may only appear inside a path predicate"
+        )
+    if isinstance(expr, AndExpr):
+        raise XQueryCompilationError("'and' may only appear in a condition position")
+    raise XQueryCompilationError(f"cannot normalize AST node {type(expr).__name__}")
+
+
+def _norm_path(expr: Expression, state: _NormalizerState) -> Expression:
+    """Normalize the spine of a location-step chain without wrapping it in ddo."""
+    if isinstance(expr, Step):
+        return Step(_norm_path(expr.input, state), expr.axis, expr.node_test)
+    return _norm(expr, state)
+
+
+def _norm_filter(expr: Filter, state: _NormalizerState) -> Expression:
+    """Desugar ``E[p]`` into ``for $dot in fs:ddo(E) return if (...) then $dot else ()``."""
+    dot = state.fresh_var()
+    source = _norm(expr.input, state)
+    predicate = _replace_context(expr.predicate, VarRef(dot))
+    body = _norm_condition(predicate, VarRef(dot), state)
+    return ForExpr(dot, source, body)
+
+
+def _norm_condition(condition: Expression, then_branch: Expression, state: _NormalizerState) -> Expression:
+    """Build the core conditional for ``if (condition) then then_branch else ()``.
+
+    Conjunctions become nested conditionals; every leaf condition is wrapped
+    in ``fn:boolean``.
+    """
+    if isinstance(condition, AndExpr):
+        inner = _norm_condition(condition.right, then_branch, state)
+        return _norm_condition(condition.left, inner, state)
+    if isinstance(condition, Comparison):
+        normalized = Comparison(
+            _norm_comparison_operand(condition.left, state),
+            condition.op,
+            _norm_comparison_operand(condition.right, state),
+        )
+        return IfExpr(FnBoolean(normalized), then_branch)
+    # Existence test: a path / variable / doc expression.
+    return IfExpr(FnBoolean(_norm(condition, state)), then_branch)
+
+
+def _norm_comparison_operand(expr: Expression, state: _NormalizerState) -> Expression:
+    """Comparison operands: literals stay, node expressions are normalized without ddo."""
+    if isinstance(expr, (StringLiteral, NumberLiteral)):
+        return expr
+    if isinstance(expr, Step):
+        return _norm_path(expr, state)
+    return _norm(expr, state)
+
+
+def _resolve_root(state: _NormalizerState) -> Expression:
+    if state.default_document is None:
+        raise XQueryCompilationError(
+            "a leading '/' needs a statically known context document; "
+            "pass default_document= or start the path with doc(...)"
+        )
+    return Doc(state.default_document)
+
+
+def _replace_context(expr: Expression, replacement: Expression) -> Expression:
+    """Substitute the context item inside a predicate by the predicate variable."""
+    if isinstance(expr, ContextItem):
+        return replacement
+    if isinstance(expr, Step):
+        return Step(_replace_context(expr.input, replacement), expr.axis, expr.node_test)
+    if isinstance(expr, Filter):
+        return Filter(_replace_context(expr.input, replacement), expr.predicate)
+    if isinstance(expr, AndExpr):
+        return AndExpr(
+            _replace_context(expr.left, replacement), _replace_context(expr.right, replacement)
+        )
+    if isinstance(expr, Comparison):
+        return Comparison(
+            _replace_context(expr.left, replacement),
+            expr.op,
+            _replace_context(expr.right, replacement),
+        )
+    if isinstance(expr, ForExpr):
+        return ForExpr(
+            expr.var, _replace_context(expr.sequence, replacement), _replace_context(expr.body, replacement)
+        )
+    if isinstance(expr, LetExpr):
+        return LetExpr(
+            expr.var, _replace_context(expr.value, replacement), _replace_context(expr.body, replacement)
+        )
+    if isinstance(expr, IfExpr):
+        return IfExpr(
+            _replace_context(expr.condition, replacement),
+            _replace_context(expr.then_branch, replacement),
+        )
+    return expr

@@ -1,0 +1,286 @@
+"""Recursive-descent parser for the supported XQuery surface syntax.
+
+The accepted grammar is the fragment of Fig. 1 of the paper plus the
+extensions its Section III-C uses (``let``, ``where``, multi-variable
+``for`` clauses, path predicates ``[...]`` and general comparisons between
+two path expressions), plus the usual XPath abbreviations:
+
+* ``//name``  for ``/descendant-or-self::node()/child::name`` (equivalently
+  ``descendant::name`` for element name tests, which is how it is expanded),
+* ``name``    for ``child::name``,
+* ``@name``   for ``attribute::name``,
+* ``text()``  and the other kind tests,
+* a leading ``/`` for the root of the statically known context document.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XQuerySyntaxError
+from repro.xmldb.axes import AXES
+from repro.xquery.ast import (
+    AndExpr,
+    Comparison,
+    ContextItem,
+    Doc,
+    EmptySequence,
+    Expression,
+    Filter,
+    ForExpr,
+    GENERAL_COMPARISONS,
+    IfExpr,
+    LetExpr,
+    NumberLiteral,
+    Root,
+    Step,
+    StringLiteral,
+    VarRef,
+)
+from repro.xquery.lexer import Token, tokenize
+
+_KIND_TESTS = frozenset(
+    {"text", "node", "comment", "element", "attribute", "processing-instruction", "document-node"}
+)
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        self.position += 1
+        return token
+
+    def check(self, token_type: str, text: str | None = None) -> bool:
+        token = self.peek()
+        if token.type != token_type:
+            return False
+        return text is None or token.text == text
+
+    def accept(self, token_type: str, text: str | None = None) -> Token | None:
+        if self.check(token_type, text):
+            return self.advance()
+        return None
+
+    def expect(self, token_type: str, text: str | None = None) -> Token:
+        if not self.check(token_type, text):
+            token = self.peek()
+            expected = text or token_type
+            raise XQuerySyntaxError(
+                f"expected {expected!r} but found {token.text or token.type!r}", token.position
+            )
+        return self.advance()
+
+    # -- grammar ----------------------------------------------------------------
+
+    def parse_query(self) -> Expression:
+        expr = self.parse_expr_single()
+        self.expect("eof")
+        return expr
+
+    def parse_expr_single(self) -> Expression:
+        if self.check("keyword", "for") or self.check("keyword", "let"):
+            return self.parse_flwor()
+        if self.check("keyword", "if"):
+            return self.parse_if()
+        return self.parse_or_and()
+
+    def parse_flwor(self) -> Expression:
+        """Parse ``for``/``let`` clauses, an optional ``where`` and the ``return``."""
+        bindings: list[tuple[str, str, Expression]] = []  # (kind, var, expr)
+        while True:
+            if self.accept("keyword", "for"):
+                bindings.append(("for",) + self._parse_binding(":= not allowed", "in"))
+                while self.accept(","):
+                    bindings.append(("for",) + self._parse_binding(":= not allowed", "in"))
+            elif self.accept("keyword", "let"):
+                bindings.append(("let",) + self._parse_binding("in not allowed", ":="))
+                while self.accept(","):
+                    bindings.append(("let",) + self._parse_binding("in not allowed", ":="))
+            else:
+                break
+        condition: Expression | None = None
+        if self.accept("keyword", "where"):
+            condition = self.parse_condition()
+        self.expect("keyword", "return")
+        body = self.parse_expr_single()
+        if condition is not None:
+            body = IfExpr(condition, body)
+        for kind, var, expr in reversed(bindings):
+            if kind == "for":
+                body = ForExpr(var, expr, body)
+            else:
+                body = LetExpr(var, expr, body)
+        return body
+
+    def _parse_binding(self, error_hint: str, separator: str) -> tuple[str, Expression]:
+        self.expect("$")
+        var = self.expect("name").text
+        if separator == "in":
+            self.expect("keyword", "in")
+        else:
+            self.expect(":=")
+        expr = self.parse_expr_single()
+        return var, expr
+
+    def parse_if(self) -> Expression:
+        self.expect("keyword", "if")
+        self.expect("(")
+        condition = self.parse_condition()
+        self.expect(")")
+        self.expect("keyword", "then")
+        then_branch = self.parse_expr_single()
+        self.expect("keyword", "else")
+        self.expect("(")
+        self.expect(")")
+        return IfExpr(condition, then_branch)
+
+    def parse_condition(self) -> Expression:
+        """A conjunction of comparisons / existence tests (``and`` only)."""
+        left = self.parse_or_and()
+        while self.accept("keyword", "and"):
+            right = self.parse_or_and()
+            left = AndExpr(left, right)
+        return left
+
+    def parse_or_and(self) -> Expression:
+        if self.check("keyword", "or"):
+            token = self.peek()
+            raise XQuerySyntaxError("'or' is not part of the supported fragment", token.position)
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expression:
+        left = self.parse_path()
+        for op in GENERAL_COMPARISONS:
+            if self.check(op):
+                self.advance()
+                right = self.parse_path()
+                return Comparison(left, op, right)
+        return left
+
+    # -- paths --------------------------------------------------------------------
+
+    def parse_path(self) -> Expression:
+        token = self.peek()
+        if token.type == "string":
+            self.advance()
+            return StringLiteral(token.text)
+        if token.type == "number":
+            self.advance()
+            return NumberLiteral(float(token.text))
+        if self.check("/") or self.check("//"):
+            base: Expression = Root()
+        else:
+            base = self.parse_primary()
+        return self.parse_relative_path(base)
+
+    def parse_relative_path(self, base: Expression) -> Expression:
+        expr = base
+        expr = self.parse_filters(expr)
+        while True:
+            if self.accept("//"):
+                # ``E//n`` abbreviates ``E/descendant-or-self::node()/child::n``;
+                # for child steps this is equivalent to the single step
+                # ``E/descendant::n``, which is also how the paper states Q1/Q2.
+                step = self._parse_step(expr)
+                if isinstance(step, Step) and step.axis == "child":
+                    expr = Step(step.input, "descendant", step.node_test)
+                elif isinstance(step, Step) and step.axis == "attribute":
+                    expr = Step(Step(step.input, "descendant-or-self", "node()"), "attribute", step.node_test)
+                else:
+                    expr = step
+            elif self.accept("/"):
+                expr = self._parse_step(expr)
+            else:
+                break
+            expr = self.parse_filters(expr)
+        return expr
+
+    def parse_filters(self, expr: Expression) -> Expression:
+        while self.accept("["):
+            predicate = self.parse_condition()
+            self.expect("]")
+            expr = Filter(expr, predicate)
+        return expr
+
+    def parse_primary(self) -> Expression:
+        if self.check("keyword", "doc") and self.peek(1).type == "(":
+            self.advance()
+            self.expect("(")
+            uri = self.expect("string").text
+            self.expect(")")
+            return Doc(uri)
+        if self.accept("$"):
+            return VarRef(self.expect("name").text)
+        if self.accept("."):
+            return ContextItem()
+        if self.check("("):
+            if self.peek(1).type == ")":
+                self.advance()
+                self.advance()
+                return EmptySequence()
+            self.advance()
+            inner = self.parse_expr_single()
+            self.expect(")")
+            return inner
+        # A relative path starting with a step: the implicit base is the context item.
+        if self.check("name") or self.check("@") or self.check("*") or self.check("keyword"):
+            return self._parse_step(ContextItem())
+        token = self.peek()
+        raise XQuerySyntaxError(
+            f"unexpected token {token.text or token.type!r} in expression", token.position
+        )
+
+    def _parse_step(self, base: Expression) -> Expression:
+        """Parse one location step and attach it to ``base``."""
+        if self.accept("@"):
+            name = self._expect_step_name()
+            return Step(base, "attribute", name)
+        if self.accept("*"):
+            return Step(base, "child", "*")
+        token = self.peek()
+        if token.type not in ("name", "keyword"):
+            raise XQuerySyntaxError(
+                f"expected a location step, found {token.text or token.type!r}", token.position
+            )
+        name = self.advance().text
+        if self.accept("::"):
+            axis = name
+            if axis not in AXES:
+                raise XQuerySyntaxError(f"unknown XPath axis {axis!r}", token.position)
+            if self.accept("@"):
+                return Step(base, axis, self._expect_step_name())
+            if self.accept("*"):
+                return Step(base, axis, "*")
+            test_token = self.expect("name")
+            node_test = self._maybe_kind_test(test_token.text)
+            return Step(base, axis, node_test)
+        node_test = self._maybe_kind_test(name)
+        if node_test.endswith("()") and node_test[:-2] == "attribute":
+            return Step(base, "attribute", "*")
+        return Step(base, "child", node_test)
+
+    def _expect_step_name(self) -> str:
+        if self.accept("*"):
+            return "*"
+        return self.expect("name").text
+
+    def _maybe_kind_test(self, name: str) -> str:
+        """Turn ``text`` + ``()`` into the kind test ``text()``; plain names stay."""
+        if name in _KIND_TESTS and self.check("("):
+            self.expect("(")
+            self.expect(")")
+            return f"{name}()"
+        return name
+
+
+def parse_xquery(source: str) -> Expression:
+    """Parse XQuery text into a surface AST."""
+    return _Parser(tokenize(source)).parse_query()

@@ -1,0 +1,75 @@
+"""Tests for DAG traversal and substitution."""
+
+from repro.algebra.dag import (
+    count_operators, find_first, iter_nodes, node_count, operator_histogram,
+    parents_map, reaches, replace_node, shared_nodes, substitute,
+)
+from repro.algebra.operators import Attach, Distinct, DocTable, Project, Select
+from repro.algebra.predicates import ColumnRef, Comparison, Literal, Predicate
+
+
+def _sample_plan():
+    doc = DocTable()
+    left = Project(doc, [("a", "pre")])
+    right = Project(doc, [("b", "pre")])
+    top = Attach(Project(left, [("a", "a")]), "c", 1)
+    return doc, left, right, top
+
+
+def test_iter_nodes_visits_each_once():
+    doc, left, right, top = _sample_plan()
+    nodes = list(iter_nodes(top))
+    assert len(nodes) == len({id(n) for n in nodes})
+    assert nodes[-1] is top
+
+
+def test_parents_and_shared_nodes():
+    doc = DocTable()
+    a = Project(doc, [("a", "pre")])
+    b = Project(doc, [("b", "pre")])
+    from repro.algebra.operators import Cross
+    top = Cross(a, b)
+    assert shared_nodes(top) == [doc]
+    assert len(parents_map(top)[id(doc)]) == 2
+
+
+def test_reaches():
+    doc, left, right, top = _sample_plan()
+    assert reaches(top, doc)
+    assert not reaches(left, top)
+
+
+def test_replace_node_preserves_sharing():
+    doc = DocTable()
+    a = Project(doc, [("a", "pre")])
+    b = Project(doc, [("b", "pre")])
+    from repro.algebra.operators import Cross
+    top = Cross(a, b)
+    new_doc = DocTable("doc2")
+    new_top = replace_node(top, doc, new_doc)
+    assert shared_nodes(new_top) == [new_doc]
+    assert node_count(new_top) == node_count(top)
+
+
+def test_substitute_allows_wrapping_replacement():
+    doc = DocTable()
+    select = Select(doc, Predicate.of(Comparison(ColumnRef("kind"), "=", Literal("ELEM"))))
+    wrapped = Distinct(select)
+    new_root = substitute(select, {id(select): wrapped})
+    assert isinstance(new_root, Distinct) and new_root.child is select
+
+
+def test_histogram_and_counts():
+    doc, left, right, top = _sample_plan()
+    histogram = operator_histogram(top)
+    assert histogram["Project"] == 2
+    assert count_operators(top, Project) == 2
+    assert find_first(top, lambda n: isinstance(n, DocTable)) is doc
+
+
+def test_deep_plan_iteration_is_iterative():
+    node = DocTable()
+    plan = node
+    for i in range(3000):
+        plan = Attach(plan, f"c{i}", i)
+    assert node_count(plan) == 3001

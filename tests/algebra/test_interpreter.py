@@ -1,0 +1,87 @@
+"""Tests for the reference plan interpreter."""
+
+import pytest
+
+from repro.errors import QueryTimeoutError
+from repro.algebra.interpreter import PlanInterpreter, evaluate_plan
+from repro.algebra.operators import (
+    Attach, Cross, Distinct, DocTable, Join, LiteralTable, Project, RowId, RowRank, Select, Serialize,
+)
+from repro.algebra.predicates import ColumnRef, Comparison, Literal, Predicate, Sum
+from repro.algebra.table import Table
+
+
+def test_doc_scan_and_select(small_auction_doc_table):
+    plan = Select(
+        DocTable(),
+        Predicate.of(
+            Comparison(ColumnRef("kind"), "=", Literal("ELEM")),
+            Comparison(ColumnRef("name"), "=", Literal("open_auction")),
+        ),
+    )
+    result = evaluate_plan(plan, small_auction_doc_table)
+    assert len(result) == 3
+
+
+def test_project_attach_rowid_rank(small_auction_doc_table):
+    base = LiteralTable(("iter",), [(1,), (2,)])
+    plan = RowRank(RowId(Attach(base, "pos", 1), "inner"), "rank", ("inner",))
+    result = evaluate_plan(plan, small_auction_doc_table)
+    assert result.columns == ("iter", "pos", "inner", "rank")
+    assert [row[3] for row in result.rows] == [1, 2]
+
+
+def test_equi_join_uses_hashing(small_auction_doc_table):
+    left = Project(Select(DocTable(), Predicate.of(Comparison(ColumnRef("kind"), "=", Literal("ELEM")))), [("lpre", "pre")])
+    right = Project(DocTable(), [("rpre", "pre"), ("rname", "name")])
+    join = Join(left, right, Predicate.equality("lpre", "rpre"))
+    result = evaluate_plan(join, small_auction_doc_table)
+    assert len(result) == len(evaluate_plan(left, small_auction_doc_table))
+
+
+def test_range_join_axis_semantics(small_auction_doc_table):
+    context = Project(
+        Select(DocTable(), Predicate.of(Comparison(ColumnRef("name"), "=", Literal("open_auction")))),
+        [("cpre", "pre"), ("csize", "size")],
+    )
+    candidates = Select(DocTable(), Predicate.of(Comparison(ColumnRef("name"), "=", Literal("bidder"))))
+    join = Join(
+        candidates,
+        context,
+        Predicate.of(
+            Comparison(ColumnRef("cpre"), "<", ColumnRef("pre")),
+            Comparison(ColumnRef("pre"), "<=", Sum(ColumnRef("cpre"), ColumnRef("csize"))),
+        ),
+    )
+    result = evaluate_plan(join, small_auction_doc_table)
+    assert len(result) == 3  # three bidder elements below open auctions
+
+
+def test_cross_and_distinct(small_auction_doc_table):
+    left = LiteralTable(("a",), [(1,), (2,)])
+    right = LiteralTable(("b",), [(1,), (1,)])
+    result = evaluate_plan(Distinct(Cross(left, right)), small_auction_doc_table)
+    assert sorted(result.rows) == [(1, 1), (2, 1)]
+
+
+def test_shared_subplans_evaluated_once(small_auction_doc_table):
+    shared = Select(DocTable(), Predicate.of(Comparison(ColumnRef("kind"), "=", Literal("ELEM"))))
+    left = Project(shared, [("a", "pre")])
+    right = Project(shared, [("b", "pre")])
+    plan = Join(left, right, Predicate.equality("a", "b"))
+    interpreter = PlanInterpreter(small_auction_doc_table)
+    interpreter.evaluate(plan)
+    # doc, shared select, two projects, join, = 5 evaluations (not 6+)
+    assert interpreter.operators_evaluated == 5
+
+
+def test_timeout_raises(small_auction_doc_table):
+    big = DocTable()
+    plan = Cross(Project(big, [("a", "pre")]), Project(Cross(Project(big, [("b", "pre")]), Project(big, [("c", "pre")])), [("b", "b"), ("c", "c")]))
+    with pytest.raises(QueryTimeoutError):
+        evaluate_plan(plan, small_auction_doc_table, timeout_seconds=0.0)
+
+
+def test_serialize_is_transparent(small_auction_doc_table):
+    plan = Serialize(LiteralTable(("iter",), [(1,)]))
+    assert evaluate_plan(plan, small_auction_doc_table).rows == [(1,)]

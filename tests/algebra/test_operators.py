@@ -1,0 +1,75 @@
+"""Structural tests for the table algebra operators."""
+
+import pytest
+
+from repro.errors import AlgebraError
+from repro.algebra.operators import (
+    Attach, Cross, Distinct, DocTable, Join, LiteralTable, Project, RowId, RowRank,
+    Select, Serialize, literal_column, loop_table,
+)
+from repro.algebra.predicates import ColumnRef, Comparison, Literal, Predicate
+
+
+def test_doc_table_schema():
+    assert DocTable().columns == ("pre", "size", "level", "kind", "name", "value", "data")
+
+
+def test_loop_table_and_literal_column():
+    assert loop_table().rows == ((1,),)
+    assert literal_column("pos", 1).columns == ("pos",)
+
+
+def test_project_validates_sources():
+    with pytest.raises(AlgebraError):
+        Project(DocTable(), [("x", "nope")])
+
+
+def test_project_duplicate_outputs_rejected():
+    with pytest.raises(AlgebraError):
+        Project(DocTable(), [("x", "pre"), ("x", "size")])
+
+
+def test_select_validates_predicate_columns():
+    with pytest.raises(AlgebraError):
+        Select(DocTable(), Predicate.of(Comparison(ColumnRef("missing"), "=", Literal(1))))
+
+
+def test_join_requires_disjoint_columns():
+    with pytest.raises(AlgebraError):
+        Join(DocTable(), DocTable(), Predicate.equality("pre", "pre"))
+
+
+def test_join_output_columns():
+    left = Project(DocTable(), [("a", "pre")])
+    right = Project(DocTable(), [("b", "pre")])
+    join = Join(left, right, Predicate.equality("a", "b"))
+    assert join.columns == ("a", "b")
+
+
+def test_attach_rowid_rank_add_columns():
+    base = loop_table()
+    assert Attach(base, "pos", 1).columns == ("iter", "pos")
+    assert RowId(base, "inner").columns == ("iter", "inner")
+    assert RowRank(Attach(base, "pos", 1), "rank", ("pos",)).columns == ("iter", "pos", "rank")
+
+
+def test_rank_requires_known_order_columns():
+    with pytest.raises(AlgebraError):
+        RowRank(loop_table(), "rank", ("missing",))
+
+
+def test_with_children_rebuilds_same_kind():
+    select = Select(DocTable(), Predicate.of(Comparison(ColumnRef("kind"), "=", Literal("ELEM"))))
+    rebuilt = select.with_children([DocTable()])
+    assert isinstance(rebuilt, Select) and rebuilt.predicate is select.predicate
+
+
+def test_serialize_passes_columns_through():
+    plan = Serialize(loop_table())
+    assert plan.columns == ("iter",)
+
+
+def test_labels_are_informative():
+    assert "doc" in DocTable().label()
+    assert "π" in Project(DocTable(), [("a", "pre")]).label()
+    assert "σ" in Select(DocTable(), Predicate.of(Comparison(ColumnRef("pre"), "=", Literal(0)))).label()

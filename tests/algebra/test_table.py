@@ -1,0 +1,80 @@
+"""Tests (incl. property-based) for the in-memory Table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AlgebraError
+from repro.algebra.table import Table
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(-5, 5), st.sampled_from(["a", "b", "c"])), max_size=30
+)
+
+
+def test_schema_validation():
+    with pytest.raises(AlgebraError):
+        Table(("a", "a"), [])
+    with pytest.raises(AlgebraError):
+        Table(("a", "b"), [(1,)])
+
+
+def test_project_and_rename():
+    table = Table(("a", "b"), [(1, 2), (3, 4)])
+    projected = table.project([("x", "b"), ("a", "a")])
+    assert projected.columns == ("x", "a")
+    assert projected.rows == [(2, 1), (4, 3)]
+
+
+def test_select_and_distinct_and_attach():
+    table = Table(("a",), [(1,), (2,), (1,)])
+    assert table.select(lambda r: r["a"] > 1).rows == [(2,)]
+    assert table.distinct().rows == [(1,), (2,)]
+    assert table.attach("b", 9).columns == ("a", "b")
+
+
+def test_attach_existing_column_fails():
+    with pytest.raises(AlgebraError):
+        Table(("a",), [(1,)]).attach("a", 0)
+
+
+def test_rank_matches_sql_rank_semantics():
+    table = Table(("v",), [(10,), (5,), (10,), (1,)])
+    ranked = table.attach_rank("r", ["v"])
+    by_value = {row[0]: row[1] for row in ranked.rows}
+    assert by_value[1] == 1 and by_value[5] == 2 and by_value[10] == 3
+
+
+def test_cross_disjointness():
+    with pytest.raises(AlgebraError):
+        Table(("a",), []).cross(Table(("a",), []))
+
+
+@given(rows_strategy)
+def test_distinct_idempotent(rows):
+    table = Table(("a", "b"), rows)
+    once = table.distinct()
+    assert once.distinct().rows == once.rows
+    assert len(once) <= len(table)
+
+
+@given(rows_strategy)
+def test_rank_is_order_preserving(rows):
+    table = Table(("a", "b"), rows)
+    ranked = table.attach_rank("r", ["a"])
+    index_a = ranked.column_index("a")
+    index_r = ranked.column_index("r")
+    for row1 in ranked.rows:
+        for row2 in ranked.rows:
+            if row1[index_a] < row2[index_a]:
+                assert row1[index_r] < row2[index_r]
+            elif row1[index_a] == row2[index_a]:
+                assert row1[index_r] == row2[index_r]
+
+
+@given(rows_strategy)
+def test_sort_by_is_stable_permutation(rows):
+    table = Table(("a", "b"), rows)
+    ordered = table.sort_by(["a", "b"])
+    assert sorted(ordered.rows) == sorted(table.rows)
+    values = [row[0] for row in ordered.rows]
+    assert values == sorted(values)

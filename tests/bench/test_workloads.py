@@ -1,0 +1,30 @@
+"""Tests for the benchmark harness pieces."""
+
+from repro.bench.runner import TableNineRow, run_table_nine_row
+from repro.bench.workloads import WORKLOAD, build_dblp_dataset, build_xmark_dataset, query_by_name
+from repro.core.pipeline import XQueryProcessor
+
+
+def test_workload_covers_all_paper_queries():
+    names = [query.name for query in WORKLOAD]
+    assert names == ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6"]
+    assert {query.dataset for query in WORKLOAD} == {"xmark", "dblp"}
+
+
+def test_dataset_builders_are_consistent():
+    dataset = build_xmark_dataset(scale=0.1)
+    assert dataset.node_count == len(dataset.encoding)
+    assert len(dataset.whole_store) == 1
+    assert len(dataset.segmented_store) > 1
+
+
+def test_table_nine_row_runs_for_q1():
+    dataset = build_xmark_dataset(scale=0.1)
+    processor = XQueryProcessor(dataset.encoding, default_document=dataset.uri)
+    row = run_table_nine_row(query_by_name("Q1"), dataset, processor, budget_seconds=60)
+    assert row.query == "Q1"
+    assert not row.join_graph.dnf
+    assert row.join_graph.seconds is not None
+    rendered = row.render()
+    assert "Q1" in rendered
+    assert TableNineRow.header().startswith("   Q")

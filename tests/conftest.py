@@ -1,0 +1,82 @@
+"""Shared fixtures: small documents, encodings and processors."""
+
+import pytest
+
+from repro.core.pipeline import XQueryProcessor
+from repro.xmldb.encoding import DOC_COLUMNS, encode_document
+from repro.xmldb.generators.dblp import DblpConfig, generate_dblp_document
+from repro.xmldb.generators.xmark import XMarkConfig, generate_xmark_document
+from repro.xmldb.parser import parse_xml
+from repro.algebra.table import Table
+
+#: The paper's Fig. 2 example document.
+AUCTION_SNIPPET = (
+    '<open_auction id="1"><initial>15</initial>'
+    "<bidder><time>18:43</time><increase>4.20</increase></bidder>"
+    "</open_auction>"
+)
+
+SMALL_AUCTION_XML = """
+<site>
+  <open_auctions>
+    <open_auction id="1"><initial>15</initial>
+      <bidder><time>18:43</time><increase>4.20</increase></bidder>
+    </open_auction>
+    <open_auction id="2"><initial>20</initial></open_auction>
+    <open_auction id="3"><initial>7</initial>
+      <bidder><time>09:01</time><increase>2.00</increase></bidder>
+      <bidder><time>10:30</time><increase>3.50</increase></bidder>
+    </open_auction>
+  </open_auctions>
+</site>
+"""
+
+
+@pytest.fixture(scope="session")
+def fig2_encoding():
+    return encode_document(parse_xml(AUCTION_SNIPPET, uri="auction.xml"))
+
+
+@pytest.fixture(scope="session")
+def small_auction_encoding():
+    return encode_document(parse_xml(SMALL_AUCTION_XML, uri="auction.xml"))
+
+
+@pytest.fixture(scope="session")
+def small_auction_doc_table(small_auction_encoding):
+    return Table(DOC_COLUMNS, small_auction_encoding.rows())
+
+
+@pytest.fixture(scope="session")
+def xmark_document():
+    return generate_xmark_document(XMarkConfig(scale=0.15, seed=11))
+
+
+@pytest.fixture(scope="session")
+def xmark_encoding(xmark_document):
+    return encode_document(xmark_document)
+
+
+@pytest.fixture(scope="session")
+def dblp_document():
+    return generate_dblp_document(DblpConfig(scale=0.1, seed=5))
+
+
+@pytest.fixture(scope="session")
+def dblp_encoding(dblp_document):
+    return encode_document(dblp_document)
+
+
+@pytest.fixture(scope="session")
+def xmark_processor(xmark_encoding):
+    return XQueryProcessor(xmark_encoding, default_document="auction.xml")
+
+
+@pytest.fixture(scope="session")
+def dblp_processor(dblp_encoding):
+    return XQueryProcessor(dblp_encoding, default_document="dblp.xml")
+
+
+@pytest.fixture(scope="session")
+def small_processor(small_auction_encoding):
+    return XQueryProcessor(small_auction_encoding, default_document="auction.xml")

@@ -1,0 +1,76 @@
+"""Tests for access-path selection, join ordering and execution."""
+
+import pytest
+
+from repro.core.rewriter import isolate
+from repro.core.joingraph import extract_join_graph
+from repro.relational.catalog import database_from_encoding
+from repro.relational.engine import RelationalEngine
+from repro.relational.physical.operators import IndexScan, IndexNestedLoopJoin, TableScan
+from repro.xquery.compiler import compile_query
+
+
+def _graph(query):
+    plan, _ = isolate(compile_query(query))
+    return extract_join_graph(plan)
+
+
+@pytest.fixture(scope="module")
+def engine(small_auction_encoding):
+    return RelationalEngine(database_from_encoding(small_auction_encoding))
+
+
+def test_q1_plan_uses_index_nested_loops(engine):
+    graph = _graph('doc("auction.xml")/descendant::open_auction[bidder]')
+    planned = engine.plan(graph)
+    explain = planned.explain()
+    assert "IXSCAN" in explain
+    assert "NLJOIN" in explain
+    assert "SORT" in explain and "RETURN" in explain
+
+
+def test_selective_alias_is_joined_first(engine):
+    graph = _graph('doc("auction.xml")//open_auction[@id = "2"]')
+    planned = engine.plan(graph)
+    # the @id='2' attribute alias is the most selective: it should not be last
+    assert planned.join_order[0] in graph.aliases
+
+
+def test_execution_matches_interpreter(engine, small_auction_doc_table):
+    from repro.algebra.interpreter import evaluate_plan
+    query = 'doc("auction.xml")/descendant::open_auction[bidder]'
+    plan, _ = isolate(compile_query(query))
+    expected = {
+        row[0]
+        for row in evaluate_plan(plan, small_auction_doc_table).project([("item", "item")]).rows
+    }
+    result = engine.execute(_graph(query))
+    assert set(result.items()) == expected
+
+
+def test_results_ordered_by_document_order(engine):
+    result = engine.execute(_graph('doc("auction.xml")/descendant::bidder'))
+    items = result.items()
+    assert items == sorted(items)
+
+
+def test_distinct_eliminates_duplicates(engine):
+    result = engine.execute(_graph('doc("auction.xml")//open_auction/child::bidder/child::increase'))
+    assert len(result.items()) == len(set(result.items()))
+
+
+def test_without_indexes_falls_back_to_table_scan(small_auction_encoding):
+    db = database_from_encoding(small_auction_encoding, with_default_indexes=False)
+    db.drop_index("doc_pk_pre")
+    engine = RelationalEngine(db)
+    graph = _graph('doc("auction.xml")/descendant::open_auction')
+    planned = engine.plan(graph)
+    assert "TBSCAN" in planned.explain()
+    assert set(engine.execute(graph).items())
+
+
+def test_timeout_is_enforced(engine):
+    from repro.errors import QueryTimeoutError
+    graph = _graph('doc("auction.xml")//open_auction/child::bidder/child::increase')
+    with pytest.raises(QueryTimeoutError):
+        engine.execute(graph, timeout_seconds=0.0)

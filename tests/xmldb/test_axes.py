@@ -1,0 +1,98 @@
+"""Tests for the XPath axis semantics over the encoding (Fig. 3)."""
+
+import pytest
+
+from repro.xmldb.axes import AXES, FORWARD_AXES, REVERSE_AXES, evaluate_axis, node_test_conditions
+from repro.xmldb.encoding import encode_document
+from repro.xmldb.parser import parse_xml
+
+XML = """
+<site>
+  <a id="1"><b><c>x</c></b><b2/></a>
+  <a id="2"><b><c>y</c></b></a>
+</site>
+"""
+
+
+@pytest.fixture(scope="module")
+def enc():
+    return encode_document(parse_xml(XML, uri="t.xml"))
+
+
+def _names(enc, pres):
+    return [enc.record(p).name for p in pres]
+
+
+def test_twelve_axes_defined():
+    assert len(AXES) == 12
+    assert set(FORWARD_AXES) | set(REVERSE_AXES) == set(AXES)
+
+
+def test_child_axis(enc):
+    site = 1
+    assert _names(enc, evaluate_axis(enc, site, "child")) == ["a", "a"]
+
+
+def test_child_excludes_attributes(enc):
+    a1 = evaluate_axis(enc, 1, "child")[0]
+    names = _names(enc, evaluate_axis(enc, a1, "child", "*"))
+    assert "id" not in names
+
+
+def test_descendant_vs_descendant_or_self(enc):
+    a1 = evaluate_axis(enc, 1, "child")[0]
+    descendants = evaluate_axis(enc, a1, "descendant")
+    dos = evaluate_axis(enc, a1, "descendant-or-self")
+    assert set(dos) - set(descendants) == {a1}
+
+
+def test_parent_and_ancestor(enc):
+    c_nodes = [r.pre for r in enc.records if r.name == "c"]
+    first_c = c_nodes[0]
+    parent = evaluate_axis(enc, first_c, "parent")
+    assert _names(enc, parent) == ["b"]
+    ancestors = evaluate_axis(enc, first_c, "ancestor")
+    assert "site" in _names(enc, ancestors)
+
+
+def test_following_and_preceding_are_disjoint(enc):
+    b2 = [r.pre for r in enc.records if r.name == "b2"][0]
+    following = set(evaluate_axis(enc, b2, "following"))
+    preceding = set(evaluate_axis(enc, b2, "preceding"))
+    assert not following & preceding
+    assert b2 not in following | preceding
+
+
+def test_attribute_axis(enc):
+    a1 = evaluate_axis(enc, 1, "child")[0]
+    attrs = evaluate_axis(enc, a1, "attribute")
+    assert _names(enc, attrs) == ["id"]
+
+
+def test_axis_duality():
+    for name, spec in AXES.items():
+        if spec.dual:
+            assert AXES[spec.dual].dual == name
+
+
+def test_node_test_conditions_name_test():
+    conditions = node_test_conditions("bidder", "child")
+    assert ("kind", "=", "ELEM") in conditions
+    assert ("name", "=", "bidder") in conditions
+
+
+def test_node_test_conditions_kind_tests():
+    assert node_test_conditions("text()", "child") == [("kind", "=", "TEXT")]
+    assert node_test_conditions("node()", "descendant") == []
+    assert node_test_conditions("*", "attribute") == [("kind", "=", "ATTR")]
+
+
+def test_unknown_axis_raises():
+    with pytest.raises(ValueError):
+        evaluate_axis(None, 0, "sideways")  # type: ignore[arg-type]
+
+
+def test_sibling_axes_use_exact_parent(enc):
+    a_nodes = [r.pre for r in enc.records if r.name == "a"]
+    siblings = evaluate_axis(enc, a_nodes[0], "following-sibling")
+    assert siblings == [a_nodes[1]]

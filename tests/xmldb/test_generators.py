@@ -1,0 +1,69 @@
+"""Tests for the XMark / DBLP synthetic document generators."""
+
+from repro.xmldb.generators.dblp import DblpConfig, generate_dblp_document
+from repro.xmldb.generators.xmark import XMarkConfig, generate_xmark_document
+from repro.xmldb.encoding import encode_document
+
+
+def test_xmark_is_deterministic():
+    a = generate_xmark_document(XMarkConfig(scale=0.1, seed=3))
+    b = generate_xmark_document(XMarkConfig(scale=0.1, seed=3))
+    assert encode_document(a).rows() == encode_document(b).rows()
+
+
+def test_xmark_structure_supports_benchmark_queries():
+    doc = generate_xmark_document(XMarkConfig(scale=0.1))
+    enc = encode_document(doc)
+    names = {record.name for record in enc.records}
+    for required in (
+        "site", "open_auction", "bidder", "closed_auction", "price", "itemref",
+        "item", "incategory", "category", "person", "people", "name",
+    ):
+        assert required in names
+
+
+def test_xmark_references_resolve():
+    doc = generate_xmark_document(XMarkConfig(scale=0.1))
+    enc = encode_document(doc)
+    item_ids = {r.value for r in enc.records if r.kind == "ATTR" and r.name == "id" and str(r.value).startswith("item")}
+    refs = {r.value for r in enc.records if r.kind == "ATTR" and r.name == "item"}
+    assert refs <= item_ids
+
+
+def test_xmark_scale_grows_nodes():
+    small = len(encode_document(generate_xmark_document(XMarkConfig(scale=0.1))))
+    large = len(encode_document(generate_xmark_document(XMarkConfig(scale=0.3))))
+    assert large > small * 2
+
+
+def test_xmark_has_expensive_prices():
+    doc = generate_xmark_document(XMarkConfig(scale=0.2))
+    enc = encode_document(doc)
+    prices = [r.data for r in enc.records if r.kind == "ELEM" and r.name == "price" and r.data]
+    assert any(p > 500 for p in prices)
+    assert any(p <= 500 for p in prices)
+
+
+def test_dblp_contains_vldb2001_key_once():
+    doc = generate_dblp_document(DblpConfig(scale=0.1))
+    enc = encode_document(doc)
+    keys = [r.value for r in enc.records if r.kind == "ATTR" and r.name == "key"]
+    assert keys.count("conf/vldb2001") == 1
+
+
+def test_dblp_has_early_theses():
+    doc = generate_dblp_document(DblpConfig(scale=0.2))
+    enc = encode_document(doc)
+    years = [
+        r.value
+        for r in enc.records
+        if r.kind == "ELEM" and r.name == "year" and r.value is not None
+    ]
+    assert any(year < "1994" for year in years)
+
+
+def test_dblp_person0_like_ids_unique():
+    doc = generate_dblp_document(DblpConfig(scale=0.1))
+    enc = encode_document(doc)
+    keys = [r.value for r in enc.records if r.kind == "ATTR" and r.name == "key"]
+    assert len(keys) == len(set(keys))

@@ -1,0 +1,63 @@
+"""Tests for the hand-written XML parser."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmldb.infoset import NodeKind
+from repro.xmldb.parser import parse_xml
+
+
+def test_simple_document():
+    doc = parse_xml("<a><b>text</b></a>", uri="u.xml")
+    assert doc.kind is NodeKind.DOC and doc.name == "u.xml"
+    root = doc.children[0]
+    assert root.name == "a"
+    assert root.children[0].name == "b"
+    assert root.children[0].children[0].value == "text"
+
+
+def test_attributes_and_self_closing():
+    doc = parse_xml('<a x="1" y="two"><b/></a>')
+    root = doc.children[0]
+    assert root.attribute("x").value == "1"
+    assert root.attribute("y").value == "two"
+    assert root.children[0].name == "b" and not root.children[0].children
+
+
+def test_entity_references():
+    doc = parse_xml("<a>&lt;&amp;&gt;&#65;</a>")
+    assert doc.children[0].children[0].value == "<&>A"
+
+
+def test_cdata_and_comments_and_pis():
+    doc = parse_xml("<a><!-- c --><![CDATA[<raw>]]><?pi data?></a>", keep_whitespace_text=False)
+    kinds = [child.kind for child in doc.children[0].children]
+    assert NodeKind.COMM in kinds and NodeKind.PI in kinds and NodeKind.TEXT in kinds
+
+
+def test_prolog_doctype_skipped():
+    doc = parse_xml('<?xml version="1.0"?><!DOCTYPE a [<!ELEMENT a ANY>]><a/>')
+    assert doc.children[0].name == "a"
+
+
+def test_whitespace_only_text_dropped_by_default():
+    doc = parse_xml("<a>\n  <b/>\n</a>")
+    assert [c.kind for c in doc.children[0].children] == [NodeKind.ELEM]
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["<a>", "<a></b>", "<a x=1/>", "text only", "<a><b></a></b>", "<a/><b/>"],
+)
+def test_malformed_raises(bad):
+    with pytest.raises(XMLParseError):
+        parse_xml(bad)
+
+
+def test_error_reports_position():
+    try:
+        parse_xml("<a>\n<b></c>\n</a>")
+    except XMLParseError as error:
+        assert error.line == 2
+    else:  # pragma: no cover
+        raise AssertionError("expected a parse error")

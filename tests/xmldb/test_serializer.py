@@ -1,0 +1,30 @@
+"""Round-trip tests for serialization from the encoding."""
+
+from repro.xmldb.encoding import encode_document
+from repro.xmldb.parser import parse_xml
+from repro.xmldb.serializer import serialize_node, serialize_sequence, serialize_subtree
+
+
+def test_round_trip_simple():
+    text = '<a x="1"><b>hi</b><c/></a>'
+    enc = encode_document(parse_xml(text, uri="t.xml"))
+    assert serialize_node(enc, 1) == text
+
+
+def test_escaping():
+    enc = encode_document(parse_xml("<a>&lt;tag&gt; &amp; more</a>", uri="t.xml"))
+    assert serialize_node(enc, 1) == "<a>&lt;tag&gt; &amp; more</a>"
+
+
+def test_serialize_document_node(fig2_encoding):
+    assert serialize_node(fig2_encoding, 0).startswith("<open_auction")
+
+
+def test_serialize_subtree_sorts_and_dedups(fig2_encoding):
+    out = serialize_subtree(fig2_encoding, [3, 3])
+    assert out == "<initial>15</initial>"
+
+
+def test_serialize_sequence_preserves_order(fig2_encoding):
+    out = serialize_sequence(fig2_encoding, [6, 3], separator=" ")
+    assert out.startswith("<time>") and out.endswith("</initial>")

@@ -1,0 +1,85 @@
+"""Tests for the loop-lifting compiler (Fig. 13)."""
+
+import pytest
+
+from repro.errors import XQueryCompilationError
+from repro.algebra.dag import count_operators, node_count, operator_histogram
+from repro.algebra.interpreter import evaluate_plan
+from repro.algebra.operators import Distinct, DocTable, Join, RowId, RowRank, Serialize
+from repro.xquery.compiler import CompilerSettings, LoopLiftingCompiler, compile_query
+
+
+def test_compiled_plan_has_iter_pos_item_interface():
+    plan = compile_query('doc("auction.xml")/descendant::open_auction')
+    assert isinstance(plan, Serialize)
+    assert set(plan.columns) == {"iter", "pos", "item"}
+
+
+def test_single_shared_doc_instance():
+    plan = compile_query('doc("auction.xml")/descendant::open_auction[bidder]')
+    assert count_operators(plan, DocTable) == 1
+
+
+def test_q1_plan_profile_matches_fig4():
+    plan = compile_query('doc("auction.xml")/descendant::open_auction[bidder]')
+    histogram = operator_histogram(plan)
+    # Stacked plans scatter joins and blocking operators throughout (Fig. 4).
+    assert histogram["Join"] >= 5
+    assert histogram["RowRank"] >= 4
+    assert histogram["Distinct"] >= 3
+    assert histogram["RowId"] == 1
+
+
+def test_for_rule_introduces_row_id():
+    plan = compile_query('for $x in doc("a.xml")//a return $x/child::b')
+    assert count_operators(plan, RowId) == 1
+
+
+def test_unbound_variable_rejected():
+    with pytest.raises(XQueryCompilationError):
+        compile_query("$nope/child::a")
+
+
+def test_standalone_literal_rejected():
+    compiler = LoopLiftingCompiler()
+    from repro.xquery import ast
+    with pytest.raises(XQueryCompilationError):
+        compiler.compile(ast.StringLiteral("x"))
+
+
+def test_serialization_step_adds_descendant_or_self():
+    settings = CompilerSettings(add_serialization_step=True)
+    plan_with = compile_query('doc("auction.xml")//open_auction', settings)
+    plan_without = compile_query('doc("auction.xml")//open_auction')
+    assert node_count(plan_with) > node_count(plan_without)
+
+
+def test_q1_results_on_small_document(small_auction_doc_table, small_auction_encoding):
+    plan = compile_query('doc("auction.xml")/descendant::open_auction[bidder]')
+    result = evaluate_plan(plan, small_auction_doc_table)
+    items = sorted({row[result.column_index("item")] for row in result.rows})
+    names = [small_auction_encoding.record(item).name for item in items]
+    assert names == ["open_auction", "open_auction"]
+    assert len(items) == 2
+
+
+def test_comparison_against_string_literal(small_auction_doc_table, small_auction_encoding):
+    plan = compile_query('doc("auction.xml")//open_auction[@id = "2"]')
+    result = evaluate_plan(plan, small_auction_doc_table)
+    items = {row[result.column_index("item")] for row in result.rows}
+    assert len(items) == 1
+    (item,) = items
+    assert small_auction_encoding.record(item).name == "open_auction"
+
+
+def test_numeric_comparison_uses_data_column(small_auction_doc_table):
+    plan = compile_query('doc("auction.xml")//open_auction[initial > 10]')
+    result = evaluate_plan(plan, small_auction_doc_table)
+    assert len({row[result.column_index("item")] for row in result.rows}) == 2
+
+
+def test_nested_for_order_by_document_order(small_auction_doc_table):
+    plan = compile_query('for $a in doc("auction.xml")//open_auction return $a/child::bidder')
+    result = evaluate_plan(plan, small_auction_doc_table)
+    items = [row[result.column_index("item")] for row in result.rows]
+    assert len(items) == 3

@@ -1,0 +1,52 @@
+"""Tests for the XQuery tokenizer."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery.lexer import tokenize
+
+
+def _types(source):
+    return [t.type for t in tokenize(source)]
+
+
+def test_simple_path_tokens():
+    tokens = tokenize('doc("a.xml")/descendant::open_auction')
+    texts = [t.text for t in tokens]
+    assert "doc" in texts and "a.xml" in texts and "::" in texts and "open_auction" in texts
+
+
+def test_double_slash_vs_slash():
+    assert "//" in [t.text for t in tokenize("$a//b")]
+    assert "//" not in [t.text for t in tokenize("$a/b/c")]
+
+
+def test_prefixed_names_keep_colon():
+    texts = [t.text for t in tokenize("fs:ddo(fn:boolean($x))")]
+    assert "fs:ddo" in texts and "fn:boolean" in texts
+
+
+def test_axis_separator_not_swallowed():
+    texts = [t.text for t in tokenize("child::bidder")]
+    assert texts[:3] == ["child", "::", "bidder"]
+
+
+def test_numbers_and_strings():
+    tokens = tokenize("price > 500.5 and name = 'x'")
+    kinds = {t.type for t in tokens}
+    assert "number" in kinds and "string" in kinds
+
+
+def test_comments_are_skipped():
+    assert _types("(: comment :) $x") == ["$", "name", "eof"]
+
+
+def test_keywords_classified():
+    types = {t.text: t.type for t in tokenize("for x in y return z if then else where let")}
+    assert types["for"] == "keyword" and types["where"] == "keyword"
+
+
+@pytest.mark.parametrize("bad", ["'unterminated", "(: open comment", "#"])
+def test_lexer_errors(bad):
+    with pytest.raises(XQuerySyntaxError):
+        tokenize(bad)

@@ -1,0 +1,80 @@
+"""Tests for XQuery Core normalization."""
+
+import pytest
+
+from repro.errors import XQueryCompilationError
+from repro.xquery import ast
+from repro.xquery.ast import render
+from repro.xquery.normalize import normalize
+from repro.xquery.parser import parse_xquery
+
+
+def test_q1_normalization_matches_paper():
+    expr = parse_xquery('doc("auction.xml")/descendant::open_auction[bidder]')
+    core = normalize(expr)
+    # for $dot in fs:ddo(doc(...)/descendant::open_auction)
+    # return if (fn:boolean(fs:ddo($dot/child::bidder))) then $dot else ()
+    assert isinstance(core, ast.ForExpr)
+    assert isinstance(core.sequence, ast.FsDdo)
+    body = core.body
+    assert isinstance(body, ast.IfExpr)
+    assert isinstance(body.condition, ast.FnBoolean)
+    assert isinstance(body.then_branch, ast.VarRef) and body.then_branch.name == core.var
+    text = render(core)
+    assert "fs:ddo" in text and "fn:boolean" in text
+
+
+def test_paths_wrapped_once():
+    core = normalize(parse_xquery('doc("a.xml")/child::a/child::b/child::c'))
+    assert isinstance(core, ast.FsDdo)
+    inner = core.argument
+    count = 0
+    while isinstance(inner, ast.Step):
+        count += 1
+        inner = inner.input
+    assert count == 3 and isinstance(inner, ast.Doc)
+
+
+def test_conjunction_becomes_nested_ifs():
+    core = normalize(parse_xquery('/dblp/phdthesis[year < "1994" and author and title]'), default_document="dblp.xml")
+    body = core.body
+    assert isinstance(body, ast.IfExpr)
+    assert isinstance(body.then_branch, ast.IfExpr)
+    assert isinstance(body.then_branch.then_branch, ast.IfExpr)
+
+
+def test_where_becomes_if():
+    core = normalize(parse_xquery("for $x in doc('d.xml')//a where $x/@id = 'k' return $x"))
+    assert isinstance(core.body, ast.IfExpr)
+
+
+def test_root_requires_default_document():
+    with pytest.raises(XQueryCompilationError):
+        normalize(parse_xquery("/site/people"))
+    core = normalize(parse_xquery("/site/people"), default_document="auction.xml")
+    base = core.argument
+    while isinstance(base, ast.Step):
+        base = base.input
+    assert isinstance(base, ast.Doc) and base.uri == "auction.xml"
+
+
+def test_context_item_outside_predicate_rejected():
+    with pytest.raises(XQueryCompilationError):
+        normalize(parse_xquery("./a"))
+
+
+def test_predicate_context_replaced_by_variable():
+    core = normalize(parse_xquery("doc('a.xml')//x[@id = 'k']"))
+    condition = core.body.condition
+    comparison = condition.argument
+    assert isinstance(comparison, ast.Comparison)
+    base = comparison.left
+    while isinstance(base, ast.Step):
+        base = base.input
+    assert isinstance(base, ast.VarRef) and base.name == core.var
+
+
+def test_literals_preserved():
+    core = normalize(parse_xquery("doc('a.xml')//x[price > 500]"))
+    comparison = core.body.condition.argument
+    assert isinstance(comparison.right, ast.NumberLiteral)

@@ -1,0 +1,93 @@
+"""Tests for the XQuery parser."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery import ast
+from repro.xquery.parser import parse_xquery
+
+
+def test_q1_shape():
+    expr = parse_xquery('doc("auction.xml")/descendant::open_auction[bidder]')
+    assert isinstance(expr, ast.Filter)
+    step = expr.input
+    assert isinstance(step, ast.Step) and step.axis == "descendant"
+    assert isinstance(step.input, ast.Doc) and step.input.uri == "auction.xml"
+    predicate = expr.predicate
+    assert isinstance(predicate, ast.Step) and predicate.node_test == "bidder"
+
+
+def test_abbreviations():
+    expr = parse_xquery("$a//closed_auction/price/@id")
+    assert isinstance(expr, ast.Step) and expr.axis == "attribute"
+    price = expr.input
+    assert price.axis == "child" and price.node_test == "price"
+    closed = price.input
+    assert closed.axis == "descendant"
+
+
+def test_leading_slash_and_kind_test():
+    expr = parse_xquery("/site/people/person/name/text()")
+    assert expr.node_test == "text()"
+    base = expr
+    while isinstance(base, ast.Step):
+        base = base.input
+    assert isinstance(base, ast.Root)
+
+
+def test_flwor_with_multiple_for_and_where():
+    expr = parse_xquery(
+        "for $x in doc('d.xml')//a, $y in doc('d.xml')//b where $x/@i = $y/@j return $x"
+    )
+    assert isinstance(expr, ast.ForExpr)
+    inner = expr.body
+    assert isinstance(inner, ast.ForExpr)
+    assert isinstance(inner.body, ast.IfExpr)
+    assert isinstance(inner.body.condition, ast.Comparison)
+
+
+def test_let_binding():
+    expr = parse_xquery('let $a := doc("x.xml") return $a/child::b')
+    assert isinstance(expr, ast.LetExpr) and expr.var == "a"
+
+
+def test_if_requires_empty_else():
+    expr = parse_xquery("if ($x/b) then $x else ()")
+    assert isinstance(expr, ast.IfExpr)
+    with pytest.raises(XQuerySyntaxError):
+        parse_xquery("if ($x/b) then $x else $y")
+
+
+def test_predicate_with_and_and_comparison():
+    expr = parse_xquery('/dblp/phdthesis[year < "1994" and author and title]')
+    assert isinstance(expr, ast.Filter)
+    assert isinstance(expr.predicate, ast.AndExpr)
+
+
+def test_comparison_with_numeric_literal():
+    expr = parse_xquery("$a//closed_auction[price > 500]")
+    comparison = expr.predicate
+    assert isinstance(comparison, ast.Comparison)
+    assert isinstance(comparison.right, ast.NumberLiteral) and comparison.right.value == 500
+
+
+def test_explicit_axes():
+    expr = parse_xquery("$x/ancestor::site")
+    assert expr.axis == "ancestor"
+    with pytest.raises(XQuerySyntaxError):
+        parse_xquery("$x/sideways::a")
+
+
+def test_or_rejected():
+    with pytest.raises(XQuerySyntaxError):
+        parse_xquery("if ($a or $b) then $a else ()")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(XQuerySyntaxError):
+        parse_xquery("$a $b")
+
+
+def test_wildcard_and_attribute_wildcard():
+    expr = parse_xquery("/dblp/*")
+    assert expr.node_test == "*" and expr.axis == "child"
