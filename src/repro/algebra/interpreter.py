@@ -12,12 +12,26 @@ table scans").  It therefore doubles as
 
 Shared sub-plans are evaluated once (memoised by node identity), matching
 the behaviour of a common table expression.
+
+Two execution modes share the operator semantics bit-for-bit:
+
+* ``compiled=True`` (default) — the vectorized core: predicates are
+  compiled once per operator into positional-index closures (no per-row
+  dicts), and joins whose predicate is a conjunction of range bounds on a
+  single column — which is what every Fig. 3 axis step compiles to —
+  run as a sort-based *range join* (sort the bounded side on the column,
+  answer each outer row with two ``bisect`` probes, staircase-join style),
+  dropping axis-step joins from O(n·m) to O(n log n + output).
+* ``compiled=False`` — the seed's naive row-dict evaluation, kept as the
+  differential baseline for tests and ``benchmarks/bench_hotpaths.py``.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
 from repro.errors import ExecutionError, QueryTimeoutError
 from repro.algebra.operators import (
@@ -34,7 +48,15 @@ from repro.algebra.operators import (
     Select,
     Serialize,
 )
-from repro.algebra.predicates import ColumnRef, Comparison, Predicate
+from repro.algebra.predicates import (
+    ColumnRef,
+    Comparison,
+    Predicate,
+    Term,
+    compile_comparisons,
+    compile_predicate,
+    compile_term,
+)
 from repro.algebra.table import Table
 
 
@@ -49,17 +71,29 @@ class PlanInterpreter:
     timeout_seconds:
         Optional execution budget; exceeding it raises
         :class:`~repro.errors.QueryTimeoutError` (the paper's "DNF").
+    compiled:
+        Use the vectorized execution core (compiled predicates + sort-based
+        range joins).  ``False`` selects the naive per-row-dict reference
+        path; both produce identical tables, row order included.
     """
 
-    def __init__(self, doc_table: Table, timeout_seconds: Optional[float] = None):
+    def __init__(
+        self,
+        doc_table: Table,
+        timeout_seconds: Optional[float] = None,
+        compiled: bool = True,
+    ):
         self.doc_table = doc_table
         self.timeout_seconds = timeout_seconds
+        self.compiled = compiled
         self._deadline: Optional[float] = None
         self._memo: dict[int, Table] = {}
         #: Number of operator evaluations performed (for plan-shape metrics).
         self.operators_evaluated = 0
         #: Total number of intermediate rows materialised.
         self.rows_materialised = 0
+        #: Number of joins answered by the sort-based range-join fast path.
+        self.range_joins = 0
 
     # -- public API -------------------------------------------------------------
 
@@ -68,6 +102,7 @@ class PlanInterpreter:
         self._memo = {}
         self.operators_evaluated = 0
         self.rows_materialised = 0
+        self.range_joins = 0
         if self.timeout_seconds is not None:
             self._deadline = time.perf_counter() + self.timeout_seconds
         else:
@@ -102,6 +137,8 @@ class PlanInterpreter:
             return self._evaluate(node.child).project(node.items)
         if isinstance(node, Select):
             table = self._evaluate(node.child)
+            if self.compiled:
+                return table.filter_rows(compile_predicate(node.predicate, table.columns))
             return table.select(node.predicate.evaluate)
         if isinstance(node, Distinct):
             return self._evaluate(node.child).distinct()
@@ -122,6 +159,156 @@ class PlanInterpreter:
     def _join(self, node: Join) -> Table:
         left = self._evaluate(node.left)
         right = self._evaluate(node.right)
+        if not self.compiled:
+            return self._join_naive(node, left, right)
+        equi, residual = _split_equijoin_conjuncts(node.predicate, left.columns, right.columns)
+        output_columns = left.columns + right.columns
+        residual_test = (
+            compile_comparisons(residual, output_columns) if residual else None
+        )
+        if equi:
+            rows = self._hash_join_rows(left, right, equi, residual_test)
+            return Table.unchecked(output_columns, rows)
+        if residual:
+            plan = _plan_range_join(residual, left.columns, right.columns)
+            if plan is not None:
+                rows = self._range_join_rows(left, right, plan, output_columns)
+                if rows is not None:
+                    self.range_joins += 1
+                    return Table.unchecked(output_columns, rows)
+        # Fallback: nested loop with the predicate compiled once (no row dicts).
+        predicate_test = compile_predicate(node.predicate, output_columns)
+        rows = []
+        for left_row in left.rows:
+            self._check_deadline()
+            for right_row in right.rows:
+                combined = left_row + right_row
+                if predicate_test(combined):
+                    rows.append(combined)
+        return Table.unchecked(output_columns, rows)
+
+    def _hash_join_rows(
+        self,
+        left: Table,
+        right: Table,
+        equi: list[tuple[str, str]],
+        residual_test: Optional[Callable[[tuple], bool]],
+    ) -> list[tuple]:
+        left_keys = [left.column_index(name) for name, _ in equi]
+        right_keys = [right.column_index(name) for _, name in equi]
+        buckets: dict[tuple, list[tuple]] = {}
+        for row in right.rows:
+            key = tuple(row[index] for index in right_keys)
+            buckets.setdefault(key, []).append(row)
+        rows: list[tuple] = []
+        if len(left_keys) == 1:
+            single = left_keys[0]
+            for left_row in left.rows:
+                self._check_deadline()
+                for right_row in buckets.get((left_row[single],), ()):
+                    combined = left_row + right_row
+                    if residual_test is None or residual_test(combined):
+                        rows.append(combined)
+            return rows
+        for left_row in left.rows:
+            self._check_deadline()
+            key = tuple(left_row[index] for index in left_keys)
+            for right_row in buckets.get(key, ()):
+                combined = left_row + right_row
+                if residual_test is None or residual_test(combined):
+                    rows.append(combined)
+        return rows
+
+    def _range_join_rows(
+        self,
+        left: Table,
+        right: Table,
+        plan: "_RangeJoinPlan",
+        output_columns: tuple[str, ...],
+    ) -> Optional[list[tuple]]:
+        """Sort-based range join; returns ``None`` to signal a fallback.
+
+        The side owning the bounded column (*build*) is sorted on it once;
+        every row of the other side (*probe*) then locates its matches with
+        two ``bisect`` probes.  Output rows are emitted in nested-loop order
+        (left-major, original row order within) so results stay bit-for-bit
+        identical to the naive path.
+        """
+        build, probe = (left, right) if plan.build_side == "left" else (right, left)
+        column = build.column_index(plan.column)
+        pairs: list[tuple[float, int]] = []
+        for position, row in enumerate(build.rows):
+            value = row[column]
+            if value is None:
+                continue  # None never satisfies any comparison
+            if not isinstance(value, (int, float)):
+                return None  # non-numeric build values: stay on the safe path
+            pairs.append((value, position))
+        pairs.sort()
+        values = [value for value, _position in pairs]
+        probe_index_of = {name: i for i, name in enumerate(probe.columns)}
+        lows: list[tuple[Callable[[Sequence[object]], object], bool]] = []
+        highs: list[tuple[Callable[[Sequence[object]], object], bool]] = []
+        for op, term in plan.bounds:
+            fn = compile_term(term, probe_index_of)
+            if op in (">", ">="):
+                lows.append((fn, op == ">="))
+            elif op in ("<", "<="):
+                highs.append((fn, op == "<="))
+            else:  # "=" — an exact bound from both sides
+                lows.append((fn, True))
+                highs.append((fn, True))
+        remaining_test = (
+            compile_comparisons(plan.remaining, output_columns) if plan.remaining else None
+        )
+        build_rows = build.rows
+        total = len(values)
+        build_is_left = plan.build_side == "left"
+        keyed: list[tuple[int, int, tuple]] = []
+        rows: list[tuple] = []
+        for probe_position, probe_row in enumerate(probe.rows):
+            self._check_deadline()
+            start, end = 0, total
+            usable = True
+            for fn, inclusive in lows:
+                bound = fn(probe_row)
+                if bound is None or not isinstance(bound, (int, float)):
+                    usable = False
+                    break
+                cut = bisect_left(values, bound) if inclusive else bisect_right(values, bound)
+                if cut > start:
+                    start = cut
+            if usable:
+                for fn, inclusive in highs:
+                    bound = fn(probe_row)
+                    if bound is None or not isinstance(bound, (int, float)):
+                        usable = False
+                        break
+                    cut = bisect_right(values, bound) if inclusive else bisect_left(values, bound)
+                    if cut < end:
+                        end = cut
+            if not usable or start >= end:
+                continue
+            matches = sorted(position for _value, position in pairs[start:end])
+            if build_is_left:
+                for build_position in matches:
+                    combined = build_rows[build_position] + probe_row
+                    if remaining_test is None or remaining_test(combined):
+                        keyed.append((build_position, probe_position, combined))
+            else:
+                for build_position in matches:
+                    combined = probe_row + build_rows[build_position]
+                    if remaining_test is None or remaining_test(combined):
+                        rows.append(combined)
+        if build_is_left:
+            # Restore left-major nested-loop order.
+            keyed.sort(key=lambda item: (item[0], item[1]))
+            return [combined for _l, _r, combined in keyed]
+        return rows
+
+    # -- the seed's naive join, kept as the differential baseline -----------------
+
+    def _join_naive(self, node: Join, left: Table, right: Table) -> Table:
         equi, residual = _split_equijoin_conjuncts(node.predicate, left.columns, right.columns)
         output_columns = left.columns + right.columns
         rows: list[tuple] = []
@@ -158,6 +345,99 @@ class PlanInterpreter:
         return all(conjunct.evaluate(row) for conjunct in residual)
 
 
+# ---------------------------------------------------------------------------
+# Range-join recognition (the Fig. 3 axis-step conjunct shape)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _RangeJoinPlan:
+    """A chosen bounded column plus the conjuncts it absorbs."""
+
+    build_side: str  # "left" | "right" — the side owning the bounded column
+    column: str
+    #: Normalised bounds ``column op term`` with ``term`` over the probe side.
+    bounds: list[tuple[str, Term]]
+    #: Conjuncts not absorbed as bounds (checked per candidate pair).
+    remaining: list[Comparison]
+
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+
+
+def _plan_range_join(
+    residual: list[Comparison],
+    left_columns: tuple[str, ...],
+    right_columns: tuple[str, ...],
+) -> Optional[_RangeJoinPlan]:
+    """Recognise range-bound conjuncts ``col op expr(other side)``.
+
+    Every Fig. 3 axis predicate has this shape: the candidate node's plain
+    ``pre`` (or ``level``) column bounded by expressions over the context
+    side (``pre° < pre ∧ pre <= pre° + size°``).  We pick the (side, column)
+    with the most usable bounds, preferring one bounded from both ends.
+    """
+    left_set = set(left_columns)
+    right_set = set(right_columns)
+
+    def side_of(names: frozenset[str]) -> Optional[str]:
+        if names <= left_set:
+            return "left"
+        if names <= right_set:
+            return "right"
+        return None
+
+    candidates: dict[tuple[str, str], list[tuple[str, Term, Comparison]]] = {}
+    for conjunct in residual:
+        if conjunct.op == "!=":
+            continue
+        for col_term, op, other in (
+            (conjunct.left, conjunct.op, conjunct.right),
+            (conjunct.right, _FLIP.get(conjunct.op, conjunct.op), conjunct.left),
+        ):
+            if not isinstance(col_term, ColumnRef):
+                continue
+            col_side = side_of(frozenset((col_term.name,)))
+            other_side = side_of(other.columns())
+            if col_side is None or other_side is None or col_side == other_side:
+                # Constant bounds (other side references no columns) attach to
+                # either interpretation; require a genuine cross-side bound or
+                # a constant, never a same-side comparison.
+                if col_side is None or other.columns():
+                    continue
+                other_side = "left" if col_side == "right" else "right"
+            # A col-col conjunct like ``pre° < pre`` registers under *both*
+            # orientations (a high bound on pre° and a low bound on pre);
+            # the scoring below then picks whichever column ends up bounded
+            # from both ends.
+            candidates.setdefault((col_side, col_term.name), []).append(
+                (op, other, conjunct)
+            )
+
+    if not candidates:
+        return None
+
+    def score(entry: tuple[tuple[str, str], list[tuple[str, Term, Comparison]]]) -> tuple:
+        _key, bounds = entry
+        has_low = any(op in (">", ">=", "=") for op, _t, _c in bounds)
+        has_high = any(op in ("<", "<=", "=") for op, _t, _c in bounds)
+        return (has_low and has_high, len(bounds))
+
+    (build_side, column), chosen = max(candidates.items(), key=score)
+    if not score(((build_side, column), chosen))[0]:
+        # A single one-sided bound rarely narrows anything; require a
+        # two-sided (or equality) bound before engaging the fast path.
+        return None
+    consumed = {id(conjunct) for _op, _term, conjunct in chosen}
+    remaining = [conjunct for conjunct in residual if id(conjunct) not in consumed]
+    return _RangeJoinPlan(
+        build_side=build_side,
+        column=column,
+        bounds=[(op, term) for op, term, _conjunct in chosen],
+        remaining=remaining,
+    )
+
+
 def _split_equijoin_conjuncts(
     predicate: Predicate, left_columns: tuple[str, ...], right_columns: tuple[str, ...]
 ) -> tuple[list[tuple[str, str]], list[Comparison]]:
@@ -181,7 +461,12 @@ def _split_equijoin_conjuncts(
 
 
 def evaluate_plan(
-    plan: Operator, doc_table: Table, timeout_seconds: Optional[float] = None
+    plan: Operator,
+    doc_table: Table,
+    timeout_seconds: Optional[float] = None,
+    compiled: bool = True,
 ) -> Table:
     """Convenience wrapper: evaluate ``plan`` against ``doc_table``."""
-    return PlanInterpreter(doc_table, timeout_seconds=timeout_seconds).evaluate(plan)
+    return PlanInterpreter(
+        doc_table, timeout_seconds=timeout_seconds, compiled=compiled
+    ).evaluate(plan)

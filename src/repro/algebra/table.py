@@ -42,6 +42,22 @@ class Table:
         columns = tuple(columns)
         return Table(columns, ([d.get(c) for c in columns] for d in dicts))
 
+    @classmethod
+    def unchecked(cls, columns: Sequence[str], rows: list[tuple]) -> "Table":
+        """Adopt ``rows`` (a list of correctly-arity tuples) without validation.
+
+        Hot-path constructor for operators that derive rows from an existing
+        table's tuples — the per-row arity check of ``__init__`` would
+        otherwise dominate selection/join cost.  The schema is still checked.
+        """
+        table = cls.__new__(cls)
+        table.columns = tuple(columns)
+        if len(set(table.columns)) != len(table.columns):
+            raise AlgebraError(f"duplicate column names in table schema {table.columns}")
+        table._index_of = {name: index for index, name in enumerate(table.columns)}
+        table.rows = rows
+        return table
+
     def with_rows(self, rows: Iterable[Sequence[object]]) -> "Table":
         """A new table with the same schema and the given rows."""
         return Table(self.columns, rows)
@@ -89,6 +105,10 @@ class Table:
 
     def select(self, keep: Callable[[Mapping[str, object]], bool]) -> "Table":
         return Table(self.columns, (row for row in self.rows if keep(self.row_dict(row))))
+
+    def filter_rows(self, keep: Callable[[tuple], bool]) -> "Table":
+        """Positional-row selection: ``keep`` sees the raw row tuple."""
+        return Table.unchecked(self.columns, [row for row in self.rows if keep(row)])
 
     def distinct(self) -> "Table":
         seen: set[tuple] = set()

@@ -45,16 +45,17 @@ class PureXMLEngine:
     def execute(self, source: str, timeout_seconds: Optional[float] = None) -> PureXMLResult:
         """Evaluate ``source`` over every candidate row (XISCAN → XSCAN)."""
         expr = parse_xquery(source)
-        deadline = time.perf_counter() + timeout_seconds if timeout_seconds else None
+        started = time.perf_counter()
+        deadline = started + timeout_seconds if timeout_seconds else None
         candidate_rids, used_index = self._xiscan(expr)
         nodes: list[XMLNode] = []
         visited = 0
         for rid in sorted(candidate_rids):
             if deadline is not None and time.perf_counter() > deadline:
-                raise QueryTimeoutError(timeout_seconds or 0.0, time.perf_counter() - (deadline - (timeout_seconds or 0.0)))
+                raise QueryTimeoutError(timeout_seconds or 0.0, time.perf_counter() - started)
             doc = self.store.rows[rid]
             visited += 1
-            scan = XScan(doc, deadline)
+            scan = XScan(doc, deadline, budget=timeout_seconds)
             for item in scan.evaluate(expr):
                 if isinstance(item, XMLNode):
                     nodes.append(item)

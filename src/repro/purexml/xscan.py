@@ -17,15 +17,31 @@ from repro.xquery import ast
 
 
 class XScan:
-    """Evaluate one (surface or core) XQuery AST over one document tree."""
+    """Evaluate one (surface or core) XQuery AST over one document tree.
 
-    def __init__(self, doc: XMLNode, deadline: Optional[float] = None):
+    ``deadline`` is an absolute ``time.perf_counter()`` instant; ``budget``
+    is the caller's original budget in seconds, threaded through so that a
+    timeout reports the real budget and measured elapsed time instead of
+    placeholder zeros.
+    """
+
+    def __init__(
+        self,
+        doc: XMLNode,
+        deadline: Optional[float] = None,
+        budget: Optional[float] = None,
+    ):
         self.doc = doc
         self.deadline = deadline
+        self.budget = budget
 
     def _check(self) -> None:
-        if self.deadline is not None and time.perf_counter() > self.deadline:
-            raise QueryTimeoutError(0.0, 0.0)
+        if self.deadline is not None:
+            now = time.perf_counter()
+            if now > self.deadline:
+                budget = self.budget if self.budget is not None else 0.0
+                start = self.deadline - budget if self.budget is not None else self.deadline
+                raise QueryTimeoutError(budget, now - start)
 
     def evaluate(self, expr: ast.Expression, env: Optional[dict[str, list]] = None) -> list:
         env = env or {}
@@ -45,7 +61,7 @@ class XScan:
         if isinstance(expr, ast.FsDdo):
             return self._document_order(self.evaluate(expr.argument, env))
         if isinstance(expr, ast.FnBoolean):
-            return self.evaluate(expr.argument, env)
+            return [self._effective_boolean_value(self.evaluate(expr.argument, env))]
         if isinstance(expr, ast.Step):
             context = self.evaluate(expr.input, env)
             result: list[XMLNode] = []
@@ -120,12 +136,37 @@ class XScan:
             return result
         raise PureXMLError(f"axis {axis!r} is not supported by XSCAN")
 
+    @staticmethod
+    def _effective_boolean_value(sequence: list) -> bool:
+        """``fn:boolean`` semantics (XQuery 1.0, 2.4.3).
+
+        Empty sequence -> false; any sequence whose first item is a node ->
+        true; a singleton boolean / string / number follows the usual value
+        rules; every other operand is a type error (err:FORG0006).
+        """
+        if not sequence:
+            return False
+        first = sequence[0]
+        if isinstance(first, XMLNode):
+            return True
+        if len(sequence) > 1:
+            raise PureXMLError(
+                "fn:boolean on a multi-item sequence whose first item is not a node"
+            )
+        if isinstance(first, bool):
+            return first
+        if isinstance(first, str):
+            return len(first) > 0
+        if isinstance(first, (int, float)):
+            return first == first and first != 0  # NaN != NaN
+        raise PureXMLError(f"fn:boolean is undefined for {type(first).__name__} items")
+
     def _boolean(self, expr: ast.Expression, env: dict[str, list], context: Optional[XMLNode]) -> bool:
         if isinstance(expr, ast.AndExpr):
             return self._boolean(expr.left, env, context) and self._boolean(expr.right, env, context)
         if isinstance(expr, ast.Comparison):
             return self._compare(expr, env, context)
-        return bool(self._evaluate_in_context(expr, env, context))
+        return self._effective_boolean_value(self._evaluate_in_context(expr, env, context))
 
     def _compare(self, expr: ast.Comparison, env: dict[str, list], context: Optional[XMLNode]) -> bool:
         left = self._atomize(self._evaluate_in_context(expr.left, env, context))
@@ -140,7 +181,7 @@ class XScan:
         self, expr: ast.Expression, env: dict[str, list], context: Optional[XMLNode]
     ) -> list:
         if context is not None:
-            scan = XScan(self.doc, self.deadline)
+            scan = XScan(self.doc, self.deadline, self.budget)
             env = dict(env)
             env["__context__"] = [context]
             rewritten = _replace_context(expr)

@@ -115,7 +115,11 @@ class BPlusTree:
         node = self.root
         comparable = order_key(key)
         while isinstance(node, _Internal):
-            index = bisect.bisect_right([order_key(k) for k in node.separators], comparable)
+            # bisect_left, not bisect_right: when the search key equals a
+            # separator, duplicates of that key may extend back into the
+            # child *left* of the separator, and the range scan walks
+            # forward over the leaf chain from there.
+            index = bisect.bisect_left([order_key(k) for k in node.separators], comparable)
             node = node.children[index]
         return node  # type: ignore[return-value]
 

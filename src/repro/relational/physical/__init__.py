@@ -9,8 +9,12 @@ from repro.relational.physical.operators import (
     IndexScan,
     PhysicalOperator,
     Return,
+    SlotMap,
     Sort,
     TableScan,
+    compile_condition,
+    compile_conditions,
+    compile_term,
 )
 
 __all__ = [
@@ -22,6 +26,10 @@ __all__ = [
     "IndexScan",
     "PhysicalOperator",
     "Return",
+    "SlotMap",
     "Sort",
     "TableScan",
+    "compile_condition",
+    "compile_conditions",
+    "compile_term",
 ]

@@ -13,13 +13,19 @@ SORT        sort on the ORDER BY terms (+ duplicate elimination)
 RETURN      final projection to the query's select list
 =========  =====================================================
 
-Rows are dictionaries keyed by ``(alias, column)`` so that the self-join
-aliases of the join graph stay separate.  All operators are iterators; the
-plan is fully pipelined except for SORT and the build side of HSJOIN.
+Rows are plain **tuples**; each operator publishes a :class:`SlotMap` that
+assigns every ``(alias, column)`` pair of its output a fixed position, and
+join-graph :class:`~repro.core.joingraph.Condition` terms are compiled once
+per plan into positional slot accessors.  Joins concatenate tuples, so the
+self-join aliases of the join graph stay separate without the per-row
+``dict[(alias, column)]`` churn of the seed implementation.  All operators
+are iterators; the plan is fully pipelined except for SORT and the build
+side of HSJOIN.
 """
 
 from __future__ import annotations
 
+import operator as _operator_module
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional, Sequence
@@ -29,7 +35,122 @@ from repro.algebra.table import Table
 from repro.core.joingraph import ColumnTerm, Condition, ConstantTerm, SumTerm, Term
 from repro.relational.btree import PRE_PLUS_SIZE, BTreeIndex
 
-Row = dict[tuple[str, str], object]
+#: A physical row: one value per slot of the operator's :class:`SlotMap`.
+Row = tuple
+
+_RANGE_RELATIONS = {
+    "<": _operator_module.lt,
+    "<=": _operator_module.le,
+    ">": _operator_module.gt,
+    ">=": _operator_module.ge,
+}
+
+
+class SlotMap:
+    """Positional layout of a physical row: ``(alias, column) -> slot``."""
+
+    __slots__ = ("slots", "_position_of")
+
+    def __init__(self, slots: Sequence[tuple[str, str]]):
+        self.slots: tuple[tuple[str, str], ...] = tuple(slots)
+        self._position_of = {slot: position for position, slot in enumerate(self.slots)}
+
+    @staticmethod
+    def for_table(table: Table, alias: str) -> "SlotMap":
+        return SlotMap([(alias, column) for column in table.columns])
+
+    def concat(self, other: "SlotMap") -> "SlotMap":
+        return SlotMap(self.slots + other.slots)
+
+    def position(self, alias: str, column: str) -> Optional[int]:
+        return self._position_of.get((alias, column))
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+
+def compile_term(term: Term, slots: SlotMap) -> Callable[[Row], object]:
+    """Compile a join-graph term into a positional slot accessor."""
+    if isinstance(term, ColumnTerm):
+        position = slots.position(term.alias, term.column)
+        if position is None:
+            # Mirrors the seed's ``row.get(...)`` behaviour for columns the
+            # row does not carry: the term evaluates to NULL.
+            return lambda row: None
+        return lambda row: row[position]
+    if isinstance(term, ConstantTerm):
+        value = term.value
+        return lambda row: value
+    if isinstance(term, SumTerm):
+        parts = tuple(compile_term(part, slots) for part in term.terms)
+
+        def _sum(row: Row) -> object:
+            total = 0
+            for part in parts:
+                value = part(row)
+                if value is None:
+                    return None
+                total += value  # type: ignore[operator]
+            return total
+
+        return _sum
+    raise ExecutionError(f"cannot compile term {term!r}")
+
+
+def compile_condition(condition: Condition, slots: SlotMap) -> Callable[[Row], bool]:
+    """Compile one WHERE conjunct into a positional-row boolean closure."""
+    left = compile_term(condition.left, slots)
+    right = compile_term(condition.right, slots)
+    op = condition.op
+    if op == "=":
+        def _eq(row: Row) -> bool:
+            lv = left(row)
+            rv = right(row)
+            return lv is not None and rv is not None and lv == rv
+
+        return _eq
+    if op == "!=":
+        def _ne(row: Row) -> bool:
+            lv = left(row)
+            rv = right(row)
+            return lv is not None and rv is not None and lv != rv
+
+        return _ne
+    try:
+        relation = _RANGE_RELATIONS[op]
+    except KeyError:
+        raise ExecutionError(f"unknown comparison operator {op!r}") from None
+
+    def _range(row: Row) -> bool:
+        lv = left(row)
+        rv = right(row)
+        if lv is None or rv is None:
+            return False
+        try:
+            return relation(lv, rv)
+        except TypeError:
+            return False
+
+    return _range
+
+
+def compile_conditions(
+    conditions: Sequence[Condition], slots: SlotMap
+) -> Optional[Callable[[Row], bool]]:
+    """Compile a conjunction; ``None`` when there is nothing to check."""
+    if not conditions:
+        return None
+    compiled = tuple(compile_condition(condition, slots) for condition in conditions)
+    if len(compiled) == 1:
+        return compiled[0]
+
+    def _all(row: Row) -> bool:
+        for test in compiled:
+            if not test(row):
+                return False
+        return True
+
+    return _all
 
 
 class ExecutionContext:
@@ -49,52 +170,14 @@ class ExecutionContext:
             raise QueryTimeoutError(self.timeout_seconds or 0.0, elapsed)
 
 
-def evaluate_term(term: Term, row: Row) -> object:
-    """Evaluate a join-graph term against a physical row."""
-    if isinstance(term, ColumnTerm):
-        return row.get((term.alias, term.column))
-    if isinstance(term, ConstantTerm):
-        return term.value
-    if isinstance(term, SumTerm):
-        total = 0
-        for part in term.terms:
-            value = evaluate_term(part, row)
-            if value is None:
-                return None
-            total += value  # type: ignore[operator]
-        return total
-    raise ExecutionError(f"cannot evaluate term {term!r}")
-
-
-def evaluate_condition(condition: Condition, row: Row) -> bool:
-    left = evaluate_term(condition.left, row)
-    right = evaluate_term(condition.right, row)
-    if left is None or right is None:
-        return False
-    op = condition.op
-    try:
-        if op == "=":
-            return left == right
-        if op == "!=":
-            return left != right
-        if op == "<":
-            return left < right  # type: ignore[operator]
-        if op == "<=":
-            return left <= right  # type: ignore[operator]
-        if op == ">":
-            return left > right  # type: ignore[operator]
-        if op == ">=":
-            return left >= right  # type: ignore[operator]
-    except TypeError:
-        return False
-    raise ExecutionError(f"unknown comparison operator {op!r}")
-
-
 @dataclass
 class PhysicalOperator:
     """Base class: every operator yields rows and can explain itself."""
 
     def rows(self, ctx: ExecutionContext) -> Iterator[Row]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def slots(self) -> SlotMap:  # pragma: no cover - abstract
         raise NotImplementedError
 
     def children(self) -> Sequence["PhysicalOperator"]:
@@ -110,26 +193,26 @@ class PhysicalOperator:
         return "\n".join(lines)
 
 
-def _table_row(table: Table, alias: str, position: int) -> Row:
-    row = table.rows[position]
-    return {(alias, column): row[index] for index, column in enumerate(table.columns)}
-
-
 @dataclass
 class TableScan(PhysicalOperator):
-    """TBSCAN — scan the base table, applying residual conditions."""
+    """TBSCAN — scan the base table, applying residual conditions.
+
+    Output rows *are* the table's row tuples (zero copies per row)."""
 
     table: Table
     alias: str
     conditions: list[Condition] = field(default_factory=list)
     estimated_rows: float = 0.0
 
+    def slots(self) -> SlotMap:
+        return SlotMap.for_table(self.table, self.alias)
+
     def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
-        for position in range(len(self.table.rows)):
+        keep = compile_conditions(self.conditions, self.slots())
+        for row in self.table.rows:
             ctx.check()
             ctx.rows_scanned += 1
-            row = _table_row(self.table, self.alias, position)
-            if all(evaluate_condition(c, row) for c in self.conditions):
+            if keep is None or keep(row):
                 yield row
 
     def describe(self) -> str:
@@ -151,6 +234,87 @@ class IndexBound:
     source: object = None
 
 
+class _CompiledProbe:
+    """Bounds + residual of one index access, compiled against slot maps.
+
+    ``bounds`` terms are evaluated against the *outer* row (empty for a bare
+    IXSCAN), the residual conditions against the combined output row.
+    """
+
+    __slots__ = ("index", "table", "bound_evals", "residual", "key_columns")
+
+    def __init__(
+        self,
+        index: BTreeIndex,
+        table: Table,
+        bounds: Sequence[IndexBound],
+        residual: Sequence[Condition],
+        outer_slots: SlotMap,
+        output_slots: SlotMap,
+    ):
+        self.index = index
+        self.table = table
+        self.key_columns = index.key_columns
+        self.bound_evals = [
+            (bound, compile_term(bound.term, outer_slots)) for bound in bounds
+        ]
+        self.residual = compile_conditions(residual, output_slots)
+
+    def probe(self, ctx: ExecutionContext, outer_row: Row) -> Iterator[Row]:
+        """Probe the B-tree with bounds evaluated against ``outer_row``."""
+        ctx.index_probes += 1
+        equalities: dict[str, object] = {}
+        low_extra: Optional[tuple[object, bool]] = None
+        high_extra: Optional[tuple[object, bool]] = None
+        range_column: Optional[str] = None
+        for bound, evaluate in self.bound_evals:
+            value = evaluate(outer_row)
+            if value is None:
+                return
+            if bound.kind == "eq":
+                equalities[bound.column] = value
+            elif bound.kind == "low":
+                range_column = bound.column
+                if low_extra is None or value > low_extra[0]:  # type: ignore[operator]
+                    low_extra = (value, bound.inclusive)
+            else:
+                range_column = bound.column
+                if high_extra is None or value < high_extra[0]:  # type: ignore[operator]
+                    high_extra = (value, bound.inclusive)
+        prefix = []
+        for column in self.key_columns:
+            if column in equalities:
+                prefix.append(equalities[column])
+            else:
+                break
+        low = list(prefix)
+        high = list(prefix)
+        low_inclusive = high_inclusive = True
+        next_column = (
+            self.key_columns[len(prefix)] if len(prefix) < len(self.key_columns) else None
+        )
+        if range_column is not None and next_column == range_column:
+            if low_extra is not None:
+                low.append(low_extra[0])
+                low_inclusive = low_extra[1]
+            if high_extra is not None:
+                high.append(high_extra[0])
+                high_inclusive = high_extra[1]
+        table_rows = self.table.rows
+        residual = self.residual
+        for _key, position in self.index.scan(
+            tuple(low) if low else None,
+            tuple(high) if high else None,
+            low_inclusive,
+            high_inclusive,
+        ):
+            ctx.check()
+            ctx.rows_scanned += 1
+            row = outer_row + table_rows[position]
+            if residual is None or residual(row):
+                yield row
+
+
 @dataclass
 class IndexScan(PhysicalOperator):
     """IXSCAN — B-tree access with a constant equality prefix and range bound."""
@@ -162,79 +326,20 @@ class IndexScan(PhysicalOperator):
     residual: list[Condition] = field(default_factory=list)
     estimated_rows: float = 0.0
 
+    def slots(self) -> SlotMap:
+        return SlotMap.for_table(self.table, self.alias)
+
     def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
-        empty: Row = {}
-        yield from probe_index(
-            ctx, self.index, self.table, self.alias, self.bounds, self.residual, empty
+        probe = _CompiledProbe(
+            self.index, self.table, self.bounds, self.residual, SlotMap(()), self.slots()
         )
+        yield from probe.probe(ctx, ())
 
     def describe(self) -> str:
         keys = ",".join(self.index.key_columns)
         bound = ", ".join(f"{b.column}{'=' if b.kind == 'eq' else b.kind}" for b in self.bounds)
         residual = f" residual={len(self.residual)}" if self.residual else ""
         return f"IXSCAN({self.alias}) index={self.index.name}({keys}) bounds[{bound}]{residual}"
-
-
-def probe_index(
-    ctx: ExecutionContext,
-    index: BTreeIndex,
-    table: Table,
-    alias: str,
-    bounds: list[IndexBound],
-    residual: list[Condition],
-    outer_row: Row,
-) -> Iterator[Row]:
-    """Probe a B-tree with bounds evaluated against ``outer_row``."""
-    ctx.index_probes += 1
-    equalities: dict[str, object] = {}
-    low_extra: Optional[tuple[object, bool]] = None
-    high_extra: Optional[tuple[object, bool]] = None
-    range_column: Optional[str] = None
-    for bound in bounds:
-        value = evaluate_term(bound.term, outer_row)
-        if value is None:
-            return
-        if bound.kind == "eq":
-            equalities[bound.column] = value
-        elif bound.kind == "low":
-            range_column = bound.column
-            if low_extra is None or value > low_extra[0]:  # type: ignore[operator]
-                low_extra = (value, bound.inclusive)
-        else:
-            range_column = bound.column
-            if high_extra is None or value < high_extra[0]:  # type: ignore[operator]
-                high_extra = (value, bound.inclusive)
-    prefix = []
-    for column in index.key_columns:
-        if column in equalities:
-            prefix.append(equalities[column])
-        else:
-            break
-    low = list(prefix)
-    high = list(prefix)
-    low_inclusive = high_inclusive = True
-    next_column = (
-        index.key_columns[len(prefix)] if len(prefix) < len(index.key_columns) else None
-    )
-    if range_column is not None and next_column == range_column:
-        if low_extra is not None:
-            low.append(low_extra[0])
-            low_inclusive = low_extra[1]
-        if high_extra is not None:
-            high.append(high_extra[0])
-            high_inclusive = high_extra[1]
-    for _key, position in index.scan(
-        tuple(low) if low else None,
-        tuple(high) if high else None,
-        low_inclusive,
-        high_inclusive,
-    ):
-        ctx.check()
-        ctx.rows_scanned += 1
-        row = dict(outer_row)
-        row.update(_table_row(table, alias, position))
-        if all(evaluate_condition(c, row) for c in residual):
-            yield row
 
 
 @dataclass
@@ -249,11 +354,16 @@ class IndexNestedLoopJoin(PhysicalOperator):
     residual: list[Condition] = field(default_factory=list)
     estimated_rows: float = 0.0
 
+    def slots(self) -> SlotMap:
+        return self.outer.slots().concat(SlotMap.for_table(self.table, self.alias))
+
     def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        probe = _CompiledProbe(
+            self.index, self.table, self.bounds, self.residual,
+            self.outer.slots(), self.slots(),
+        )
         for outer_row in self.outer.rows(ctx):
-            yield from probe_index(
-                ctx, self.index, self.table, self.alias, self.bounds, self.residual, outer_row
-            )
+            yield from probe.probe(ctx, outer_row)
 
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.outer,)
@@ -275,18 +385,23 @@ class HashJoin(PhysicalOperator):
     residual: list[Condition] = field(default_factory=list)
     estimated_rows: float = 0.0
 
+    def slots(self) -> SlotMap:
+        return self.outer.slots().concat(self.inner.slots())
+
     def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        inner_keys = [compile_term(term, self.inner.slots()) for term in self.inner_terms]
+        outer_keys = [compile_term(term, self.outer.slots()) for term in self.outer_terms]
+        residual = compile_conditions(self.residual, self.slots())
         buckets: dict[tuple, list[Row]] = {}
         for inner_row in self.inner.rows(ctx):
-            key = tuple(evaluate_term(term, inner_row) for term in self.inner_terms)
+            key = tuple(evaluate(inner_row) for evaluate in inner_keys)
             buckets.setdefault(key, []).append(inner_row)
         for outer_row in self.outer.rows(ctx):
             ctx.check()
-            key = tuple(evaluate_term(term, outer_row) for term in self.outer_terms)
+            key = tuple(evaluate(outer_row) for evaluate in outer_keys)
             for inner_row in buckets.get(key, ()):
-                row = dict(outer_row)
-                row.update(inner_row)
-                if all(evaluate_condition(c, row) for c in self.residual):
+                row = outer_row + inner_row
+                if residual is None or residual(row):
                     yield row
 
     def children(self) -> Sequence[PhysicalOperator]:
@@ -306,9 +421,13 @@ class Filter(PhysicalOperator):
     child: PhysicalOperator
     conditions: list[Condition] = field(default_factory=list)
 
+    def slots(self) -> SlotMap:
+        return self.child.slots()
+
     def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        keep = compile_conditions(self.conditions, self.slots())
         for row in self.child.rows(ctx):
-            if all(evaluate_condition(c, row) for c in self.conditions):
+            if keep is None or keep(row):
                 yield row
 
     def children(self) -> Sequence[PhysicalOperator]:
@@ -327,10 +446,16 @@ class Sort(PhysicalOperator):
     select_items: list[tuple[Term, str]] = field(default_factory=list)
     distinct: bool = False
 
+    def slots(self) -> SlotMap:
+        return self.child.slots()
+
     def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        slots = self.slots()
+        order_evals = [compile_term(term, slots) for term in self.order_terms]
+        select_evals = [compile_term(term, slots) for term, _name in self.select_items]
         materialised = list(self.child.rows(ctx))
         keys = [
-            tuple(_sortable(evaluate_term(term, row)) for term in self.order_terms)
+            tuple(_sortable(evaluate(row)) for evaluate in order_evals)
             for row in materialised
         ]
         order = sorted(range(len(materialised)), key=lambda position: keys[position])
@@ -339,7 +464,7 @@ class Sort(PhysicalOperator):
             ctx.check()
             row = materialised[position]
             if self.distinct:
-                signature = tuple(evaluate_term(term, row) for term, _name in self.select_items)
+                signature = tuple(evaluate(row) for evaluate in select_evals)
                 if signature in seen:
                     continue
                 seen.add(signature)
@@ -371,12 +496,17 @@ class Return(PhysicalOperator):
     child: PhysicalOperator
     select_items: list[tuple[Term, str]] = field(default_factory=list)
 
+    def slots(self) -> SlotMap:
+        return self.child.slots()
+
     def rows(self, ctx: ExecutionContext) -> Iterator[Row]:  # pragma: no cover - unused path
         yield from self.child.rows(ctx)
 
     def results(self, ctx: ExecutionContext) -> Iterator[dict[str, object]]:
+        slots = self.slots()
+        compiled = [(compile_term(term, slots), name) for term, name in self.select_items]
         for row in self.child.rows(ctx):
-            yield {name: evaluate_term(term, row) for term, name in self.select_items}
+            yield {name: evaluate(row) for evaluate, name in compiled}
 
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.child,)

@@ -13,7 +13,14 @@ This package provides everything the paper assumes about XML documents:
   (:mod:`repro.xmldb.generators`).
 """
 
-from repro.xmldb.axes import AXES, FORWARD_AXES, REVERSE_AXES, axis_predicate_spec, evaluate_axis
+from repro.xmldb.axes import (
+    AXES,
+    FORWARD_AXES,
+    REVERSE_AXES,
+    axis_predicate_spec,
+    evaluate_axis,
+    evaluate_axis_naive,
+)
 from repro.xmldb.encoding import DocumentEncoding, NodeRecord, encode_document, encode_documents
 from repro.xmldb.infoset import NodeKind, XMLNode, document, element, text
 from repro.xmldb.parser import parse_xml
@@ -33,6 +40,7 @@ __all__ = [
     "encode_document",
     "encode_documents",
     "evaluate_axis",
+    "evaluate_axis_naive",
     "parse_xml",
     "serialize_node",
     "serialize_subtree",

@@ -22,8 +22,9 @@ distinguishable by their URI in ``name``), exactly as the paper describes.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.xmldb.infoset import NodeKind, XMLNode
 
@@ -60,6 +61,12 @@ class DocumentEncoding:
     def __init__(self) -> None:
         self._records: list[NodeRecord] = []
         self._document_roots: dict[str, int] = {}
+        #: Lazily-built per-level index: level -> ascending ``pre`` ranks.
+        #: Invalidated by :meth:`append_document`.  Because records are laid
+        #: out in ``pre`` order, every per-level list is already sorted, so
+        #: axis evaluation can answer level-constrained range predicates
+        #: (child, siblings, ancestors) with ``bisect`` slices.
+        self._level_index: Optional[dict[int, list[int]]] = None
 
     # -- construction --------------------------------------------------------
 
@@ -71,6 +78,7 @@ class DocumentEncoding:
         self._encode_subtree(doc, level=0)
         if doc.name:
             self._document_roots[doc.name] = start
+        self._level_index = None
         return start
 
     def _encode_subtree(self, node: XMLNode, level: int) -> int:
@@ -117,6 +125,27 @@ class DocumentEncoding:
         """All rows as plain tuples in :data:`DOC_COLUMNS` order."""
         return [record.as_tuple() for record in self._records]
 
+    @property
+    def level_index(self) -> Mapping[int, Sequence[int]]:
+        """``level -> sorted pre ranks`` over all hosted documents."""
+        if self._level_index is None:
+            index: dict[int, list[int]] = {}
+            for record in self._records:
+                index.setdefault(record.level, []).append(record.pre)
+            self._level_index = index
+        return self._level_index
+
+    def level_pres(self, level: int) -> Sequence[int]:
+        """All ``pre`` ranks at ``level``, ascending (empty for unused levels)."""
+        return self.level_index.get(level, ())
+
+    def level_pres_between(self, level: int, low: int, high: int) -> Sequence[int]:
+        """``pre`` ranks at ``level`` with ``low < pre <= high`` via bisection."""
+        pres = self.level_index.get(level)
+        if not pres:
+            return ()
+        return pres[bisect_right(pres, low) : bisect_right(pres, high)]
+
     def document_root(self, uri: str) -> Optional[int]:
         """The ``pre`` rank of the DOC row for ``uri``, or ``None``."""
         return self._document_roots.get(uri)
@@ -156,16 +185,26 @@ class DocumentEncoding:
         return result
 
     def parent(self, pre: int) -> Optional[int]:
-        """``pre`` rank of the parent node, or ``None`` for document nodes."""
+        """``pre`` rank of the parent node, or ``None`` for document nodes.
+
+        Answered from the per-level index: by subtree nesting, the parent is
+        the rightmost node one level up with a smaller ``pre`` rank (any node
+        between it and ``pre`` at that level would have to live inside the
+        parent's own subtree, which is impossible at the parent's level).
+        """
         target = self.record(pre)
         if target.kind == NodeKind.DOC.value:
             return None
-        candidate = pre - 1
-        while candidate >= 0:
-            record = self.record(candidate)
-            if record.pre < pre <= record.pre + record.size and record.level == target.level - 1:
-                return candidate
-            candidate -= 1
+        pres = self.level_index.get(target.level - 1)
+        if not pres:
+            return None
+        position = bisect_left(pres, pre) - 1
+        if position < 0:
+            return None
+        candidate = pres[position]
+        record = self.record(candidate)
+        if record.pre < pre <= record.pre + record.size:
+            return candidate
         return None
 
     def subtree(self, pre: int, include_self: bool = True) -> range:

@@ -1,0 +1,61 @@
+"""Regression tests for XSCAN semantics: fn:boolean EBV and real timeouts."""
+
+import time
+
+import pytest
+
+from repro.errors import PureXMLError, QueryTimeoutError
+from repro.purexml.xscan import XScan
+from repro.xmldb.parser import parse_xml
+from repro.xquery import ast
+
+DOC = parse_xml("<r><a>1</a><b/></r>", uri="doc.xml")
+
+
+def _ebv(argument):
+    scan = XScan(DOC)
+    return scan.evaluate(ast.FnBoolean(argument))
+
+
+def test_fn_boolean_of_empty_sequence_is_false():
+    assert _ebv(ast.EmptySequence()) == [False]
+
+
+def test_fn_boolean_of_node_sequence_is_true():
+    # /child::r yields one element node -> EBV true.
+    assert _ebv(ast.Step(ast.Root(), "child", "r")) == [True]
+    # A multi-node sequence is also true (first item is a node).
+    assert _ebv(ast.Step(ast.Step(ast.Root(), "child", "r"), "child", "*")) == [True]
+
+
+def test_fn_boolean_of_missing_nodes_is_false():
+    assert _ebv(ast.Step(ast.Root(), "child", "nope")) == [False]
+
+
+def test_fn_boolean_of_strings_and_numbers():
+    assert _ebv(ast.StringLiteral("")) == [False]
+    assert _ebv(ast.StringLiteral("x")) == [True]
+    assert _ebv(ast.NumberLiteral(0)) == [False]
+    assert _ebv(ast.NumberLiteral(0.0)) == [False]
+    assert _ebv(ast.NumberLiteral(float("nan"))) == [False]
+    assert _ebv(ast.NumberLiteral(7)) == [True]
+
+
+def test_fn_boolean_multi_item_atomic_sequence_is_a_type_error():
+    scan = XScan(DOC)
+    env = {"two": ["a", "b"]}
+    with pytest.raises(PureXMLError):
+        scan.evaluate(ast.FnBoolean(ast.VarRef("two")), env)
+
+
+def test_timeout_reports_real_budget_and_elapsed():
+    budget = 0.25
+    deadline = time.perf_counter() - 1.0  # already expired
+    scan = XScan(DOC, deadline=deadline, budget=budget)
+    with pytest.raises(QueryTimeoutError) as excinfo:
+        scan.evaluate(ast.Step(ast.Root(), "descendant", "*"))
+    error = excinfo.value
+    assert error.budget_seconds == budget
+    # Elapsed is measured, not the seed's hard-coded 0.0: the deadline passed
+    # ~1s ago after a 0.25s budget, so elapsed must exceed the budget.
+    assert error.elapsed_seconds > budget

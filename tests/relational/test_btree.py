@@ -32,6 +32,15 @@ def test_prefix_scan_composite_keys():
     assert len(a_keys) == 10 and all(key[0] == "a" for key in a_keys)
 
 
+def test_range_scan_finds_duplicates_spanning_leaves():
+    # Nine copies of the same key with order=8 split across two leaves; the
+    # descent must land on the *first* leaf holding the key, not the last
+    # (regression: bisect_right on separators skipped 8 of the 9 entries).
+    tree = _tree([0] * 9)
+    got = [key[0] for key, _ in tree.scan_range((0,), (0,))]
+    assert got == [0] * 9
+
+
 def test_height_grows_logarithmically():
     small = _tree(list(range(10)))
     large = _tree(list(range(5000)))

@@ -1,0 +1,95 @@
+"""Differential tests: index-backed ``evaluate_axis`` vs the naive scan.
+
+All 12 axes, the full node-test vocabulary, randomized context nodes, on
+XMark and DBLP fragments plus a multi-document encoding — the fast path
+must agree with :func:`~repro.xmldb.axes.evaluate_axis_naive` result-for-
+result, in document order.
+"""
+
+import random
+
+import pytest
+
+from repro.xmldb.axes import AXES, evaluate_axis, evaluate_axis_naive
+from repro.xmldb.encoding import encode_documents
+from repro.xmldb.parser import parse_xml
+
+NODE_TESTS = [
+    "node()",
+    "*",
+    "text()",
+    "element()",
+    "attribute()",
+    "comment()",
+    "bidder",
+    "increase",
+    "author",
+    "nonexistent",
+]
+
+
+def _assert_axes_agree(encoding, context_pres):
+    for pre in context_pres:
+        for axis in AXES:
+            for node_test in NODE_TESTS:
+                fast = evaluate_axis(encoding, pre, axis, node_test)
+                naive = evaluate_axis_naive(encoding, pre, axis, node_test)
+                assert fast == naive, (pre, axis, node_test)
+
+
+def _sample(rng, encoding, count):
+    population = range(len(encoding))
+    return rng.sample(population, min(count, len(population)))
+
+
+def test_all_axes_agree_on_xmark(xmark_encoding):
+    rng = random.Random(21)
+    _assert_axes_agree(xmark_encoding, _sample(rng, xmark_encoding, 25))
+
+
+def test_all_axes_agree_on_dblp(dblp_encoding):
+    rng = random.Random(22)
+    _assert_axes_agree(dblp_encoding, _sample(rng, dblp_encoding, 25))
+
+
+def test_all_axes_agree_on_multi_document_encoding():
+    first = parse_xml(
+        '<r a="1" b="2"><x><y>t</y><y>u</y></x><x/><z>tail</z></r>', uri="one.xml"
+    )
+    second = parse_xml("<r><x><y>v</y></x></r>", uri="two.xml")
+    encoding = encode_documents([first, second])
+    # Exhaustive: every node of both documents is a context node.
+    _assert_axes_agree(encoding, range(len(encoding)))
+
+
+def test_parent_is_index_backed_and_exact(xmark_encoding):
+    # The fast parent must agree with a linear containment scan.
+    rng = random.Random(5)
+    for pre in _sample(rng, xmark_encoding, 40):
+        target = xmark_encoding.record(pre)
+        expected = None
+        for candidate in range(pre - 1, -1, -1):
+            record = xmark_encoding.record(candidate)
+            if record.pre < pre <= record.pre + record.size and record.level == target.level - 1:
+                expected = candidate
+                break
+        assert xmark_encoding.parent(pre) == expected
+
+
+def test_level_pres_between_slices_match_scan(xmark_encoding):
+    rng = random.Random(6)
+    for _ in range(30):
+        level = rng.randint(0, 8)
+        low = rng.randint(-1, len(xmark_encoding))
+        high = rng.randint(low, len(xmark_encoding))
+        expected = [
+            record.pre
+            for record in xmark_encoding.records
+            if record.level == level and low < record.pre <= high
+        ]
+        assert list(xmark_encoding.level_pres_between(level, low, high)) == expected
+
+
+def test_unknown_axis_still_raises():
+    with pytest.raises(ValueError):
+        evaluate_axis(None, 0, "sideways")  # type: ignore[arg-type]
