@@ -38,8 +38,22 @@ The package is organised as follows:
     benchmark harness under ``benchmarks/``.
 """
 
-from repro.core.pipeline import CompilationResult, XQueryProcessor
+from repro.core.pipeline import (
+    CompilationResult,
+    PlanCache,
+    PreparedQuery,
+    XQueryProcessor,
+)
+from repro.core.session import DocumentStore, Session
 
-__all__ = ["XQueryProcessor", "CompilationResult", "__version__"]
+__all__ = [
+    "XQueryProcessor",
+    "CompilationResult",
+    "PlanCache",
+    "PreparedQuery",
+    "Session",
+    "DocumentStore",
+    "__version__",
+]
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"

@@ -31,7 +31,7 @@ from __future__ import annotations
 import time
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
 from repro.errors import ExecutionError, QueryTimeoutError
 from repro.algebra.operators import (
@@ -75,6 +75,12 @@ class PlanInterpreter:
         Use the vectorized execution core (compiled predicates + sort-based
         range joins).  ``False`` selects the naive per-row-dict reference
         path; both produce identical tables, row order included.
+    parameters:
+        Late bindings for the :class:`~repro.algebra.predicates.Parameter`
+        slots a prepared plan carries.  Every predicate is resolved against
+        this mapping before (compiled or naive) evaluation, so a prepared
+        plan plus bindings behaves bit-for-bit like the ad-hoc plan compiled
+        with the same values as literals.
     """
 
     def __init__(
@@ -82,10 +88,12 @@ class PlanInterpreter:
         doc_table: Table,
         timeout_seconds: Optional[float] = None,
         compiled: bool = True,
+        parameters: Optional[Mapping[str, object]] = None,
     ):
         self.doc_table = doc_table
         self.timeout_seconds = timeout_seconds
         self.compiled = compiled
+        self.parameters = dict(parameters) if parameters else None
         self._deadline: Optional[float] = None
         self._memo: dict[int, Table] = {}
         #: Number of operator evaluations performed (for plan-shape metrics).
@@ -137,9 +145,10 @@ class PlanInterpreter:
             return self._evaluate(node.child).project(node.items)
         if isinstance(node, Select):
             table = self._evaluate(node.child)
+            predicate = self._bound_predicate(node.predicate)
             if self.compiled:
-                return table.filter_rows(compile_predicate(node.predicate, table.columns))
-            return table.select(node.predicate.evaluate)
+                return table.filter_rows(compile_predicate(predicate, table.columns))
+            return table.select(predicate.evaluate)
         if isinstance(node, Distinct):
             return self._evaluate(node.child).distinct()
         if isinstance(node, Attach):
@@ -156,12 +165,19 @@ class PlanInterpreter:
 
     # -- join evaluation ----------------------------------------------------------
 
+    def _bound_predicate(self, predicate: Predicate) -> Predicate:
+        """Resolve parameter slots before the predicate reaches any fast path."""
+        if self.parameters is not None:
+            return predicate.bind(self.parameters)
+        return predicate
+
     def _join(self, node: Join) -> Table:
         left = self._evaluate(node.left)
         right = self._evaluate(node.right)
+        predicate = self._bound_predicate(node.predicate)
         if not self.compiled:
-            return self._join_naive(node, left, right)
-        equi, residual = _split_equijoin_conjuncts(node.predicate, left.columns, right.columns)
+            return self._join_naive(predicate, left, right)
+        equi, residual = _split_equijoin_conjuncts(predicate, left.columns, right.columns)
         output_columns = left.columns + right.columns
         residual_test = (
             compile_comparisons(residual, output_columns) if residual else None
@@ -177,7 +193,7 @@ class PlanInterpreter:
                     self.range_joins += 1
                     return Table.unchecked(output_columns, rows)
         # Fallback: nested loop with the predicate compiled once (no row dicts).
-        predicate_test = compile_predicate(node.predicate, output_columns)
+        predicate_test = compile_predicate(predicate, output_columns)
         rows = []
         for left_row in left.rows:
             self._check_deadline()
@@ -308,8 +324,8 @@ class PlanInterpreter:
 
     # -- the seed's naive join, kept as the differential baseline -----------------
 
-    def _join_naive(self, node: Join, left: Table, right: Table) -> Table:
-        equi, residual = _split_equijoin_conjuncts(node.predicate, left.columns, right.columns)
+    def _join_naive(self, predicate: Predicate, left: Table, right: Table) -> Table:
+        equi, residual = _split_equijoin_conjuncts(predicate, left.columns, right.columns)
         output_columns = left.columns + right.columns
         rows: list[tuple] = []
         if equi:
@@ -331,7 +347,7 @@ class PlanInterpreter:
                 self._check_deadline()
                 for right_row in right.rows:
                     combined = left_row + right_row
-                    if node.predicate.evaluate(dict(zip(output_columns, combined))):
+                    if predicate.evaluate(dict(zip(output_columns, combined))):
                         rows.append(combined)
         return Table(output_columns, rows)
 
@@ -465,8 +481,9 @@ def evaluate_plan(
     doc_table: Table,
     timeout_seconds: Optional[float] = None,
     compiled: bool = True,
+    parameters: Optional[Mapping[str, object]] = None,
 ) -> Table:
     """Convenience wrapper: evaluate ``plan`` against ``doc_table``."""
     return PlanInterpreter(
-        doc_table, timeout_seconds=timeout_seconds, compiled=compiled
+        doc_table, timeout_seconds=timeout_seconds, compiled=compiled, parameters=parameters
     ).evaluate(plan)

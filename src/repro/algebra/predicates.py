@@ -80,6 +80,35 @@ class Literal:
 
 
 @dataclass(frozen=True)
+class Parameter:
+    """A late-bound query parameter slot (an external variable).
+
+    Parameter terms are placeholders for values supplied at execution time:
+    compiled plans carry them through predicates, and :meth:`Predicate.bind`
+    turns them into :class:`Literal` terms once bindings are known.  They
+    evaluate like the bound literal would; evaluating or compiling an
+    *unbound* parameter is an error.
+    """
+
+    name: str
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Parameter":
+        return self
+
+    def evaluate(self, row: Mapping[str, object]) -> object:
+        raise AlgebraError(
+            f"parameter ${self.name} is unbound; bind() the predicate "
+            "(or pass parameters to the interpreter) before evaluation"
+        )
+
+    def render(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
 class Sum:
     """A sum of terms, e.g. ``pre + size`` or ``level + 1``."""
 
@@ -112,7 +141,31 @@ class Sum:
         return " + ".join(term.render() for term in self.terms)
 
 
-Term = Union[ColumnRef, Literal, Sum]
+Term = Union[ColumnRef, Literal, Sum, Parameter]
+
+
+def term_parameters(term: Term) -> frozenset[str]:
+    """The names of all :class:`Parameter` slots occurring in ``term``."""
+    if isinstance(term, Parameter):
+        return frozenset((term.name,))
+    if isinstance(term, Sum):
+        result: frozenset[str] = frozenset()
+        for part in term.terms:
+            result |= term_parameters(part)
+        return result
+    return frozenset()
+
+
+def bind_term(term: Term, values: Mapping[str, object]) -> Term:
+    """Replace :class:`Parameter` slots in ``term`` by :class:`Literal` values."""
+    if isinstance(term, Parameter):
+        try:
+            return Literal(values[term.name])
+        except KeyError:
+            raise AlgebraError(f"no binding supplied for parameter ${term.name}") from None
+    if isinstance(term, Sum) and term_parameters(term):
+        return Sum(*(bind_term(part, values) for part in term.terms))
+    return term
 
 
 def _compare(left: object, op: str, right: object) -> bool:
@@ -161,6 +214,16 @@ class Comparison:
         """Return the equivalent comparison with sides exchanged."""
         return Comparison(self.right, _FLIPPED_OP[self.op], self.left)
 
+    def parameters(self) -> frozenset[str]:
+        """Names of the unbound :class:`Parameter` slots in this comparison."""
+        return term_parameters(self.left) | term_parameters(self.right)
+
+    def bind(self, values: Mapping[str, object]) -> "Comparison":
+        """Resolve parameter slots against ``values`` (identity if none occur)."""
+        if not self.parameters():
+            return self
+        return Comparison(bind_term(self.left, values), self.op, bind_term(self.right, values))
+
     def evaluate(self, row: Mapping[str, object]) -> bool:
         return _compare(self.left.evaluate(row), self.op, self.right.evaluate(row))
 
@@ -208,6 +271,19 @@ class Predicate:
 
     def conjoin(self, other: "Predicate") -> "Predicate":
         return Predicate(self.conjuncts + other.conjuncts)
+
+    def parameters(self) -> frozenset[str]:
+        """Names of all unbound :class:`Parameter` slots in the conjunction."""
+        result: frozenset[str] = frozenset()
+        for conjunct in self.conjuncts:
+            result |= conjunct.parameters()
+        return result
+
+    def bind(self, values: Mapping[str, object]) -> "Predicate":
+        """Resolve parameter slots against ``values`` (identity if none occur)."""
+        if not self.parameters():
+            return self
+        return Predicate(conjunct.bind(values) for conjunct in self.conjuncts)
 
     def evaluate(self, row: Mapping[str, object]) -> bool:
         return all(conjunct.evaluate(row) for conjunct in self.conjuncts)
@@ -268,6 +344,11 @@ def compile_term(term: Term, index_of: Mapping[str, int]) -> "Callable[[Sequence
             return total
 
         return _sum
+    if isinstance(term, Parameter):
+        raise AlgebraError(
+            f"parameter ${term.name} must be bound before predicate compilation; "
+            "call Predicate.bind() or pass parameters to the interpreter"
+        )
     raise AlgebraError(f"cannot compile term {term!r}")
 
 

@@ -15,12 +15,35 @@ of the paper's evaluation:
 
 Both executions return the result node sequence as ``pre`` ranks, which can
 be serialized back to XML text via :mod:`repro.xmldb.serializer`.
+
+Compilation is amortized through a keyed :class:`PlanCache`, and queries
+that declare ``declare variable $x external;`` compile once into
+parameter-carrying plans that re-execute with fresh ``bindings`` via
+:class:`PreparedQuery` — without re-running the parser, the loop-lifting
+compiler, join graph isolation, or join-graph extraction.
+
+Example:
+
+>>> from repro.xmldb.encoding import encode_document
+>>> from repro.xmldb.parser import parse_xml
+>>> encoding = encode_document(parse_xml("<a><b>1</b><b>2</b></a>", uri="tiny.xml"))
+>>> processor = XQueryProcessor(encoding, default_document="tiny.xml")
+>>> processor.execute("//b").items
+[2, 4]
+>>> prepared = processor.prepare(
+...     'declare variable $n as xs:decimal external; //b[. > $n]')
+>>> prepared.run({"n": 1}).items
+[4]
+>>> prepared.run({"n": 0}).items
+[2, 4]
 """
 
 from __future__ import annotations
 
+import dataclasses
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Hashable, Mapping, Optional
 
 from repro.errors import JoinGraphError
 from repro.algebra.interpreter import PlanInterpreter
@@ -32,15 +55,21 @@ from repro.core.sqlgen import generate_stacked_sql, render_join_graph
 from repro.relational.catalog import Database, database_from_encoding
 from repro.relational.engine import QueryResult, RelationalEngine
 from repro.xmldb.encoding import DOC_COLUMNS, DocumentEncoding
-from repro.xquery.ast import Expression, render
+from repro.xquery.ast import Expression, ExternalVariable, check_bindings, render
 from repro.xquery.compiler import CompilerSettings, LoopLiftingCompiler
 from repro.xquery.normalize import normalize
-from repro.xquery.parser import parse_xquery
+from repro.xquery.parser import parse_module
 
 
 @dataclass
 class CompilationResult:
-    """Everything the compiler + isolation produce for one query."""
+    """Everything the compiler + isolation produce for one query.
+
+    ``source`` (and ``surface_ast``) record the text the entry was first
+    compiled from; on a :class:`PlanCache` hit from a formatting variant
+    (the cache keys on the *normalized core AST*), they reflect that first
+    variant, not the text of the current call.
+    """
 
     source: str
     surface_ast: Expression
@@ -52,10 +81,18 @@ class CompilationResult:
     join_graph_sql: Optional[str]
     stacked_sql: str
     join_graph_error: Optional[str] = None
+    #: External variables the query declares; their values arrive as
+    #: ``bindings`` at execution time (empty for ad-hoc queries).
+    external_variables: tuple[ExternalVariable, ...] = ()
 
     def core_text(self) -> str:
         """The normalized XQuery Core rendering (cf. Section II-D)."""
         return render(self.core_ast)
+
+    @property
+    def parameter_names(self) -> tuple[str, ...]:
+        """Names of the declared external variables, in declaration order."""
+        return tuple(declaration.name for declaration in self.external_variables)
 
 
 @dataclass
@@ -72,8 +109,95 @@ class ExecutionOutcome:
         return len(self.items)
 
 
+class PlanCache:
+    """A keyed LRU cache for :class:`CompilationResult` objects.
+
+    **Cache key contract.** Entries are keyed on the tuple
+
+    ``(normalized core AST, external declarations, CompilerSettings,
+    isolation configuration)``
+
+    — everything that determines the compiled plans and their binding
+    interface.  Consequences:
+
+    * source texts that differ only in whitespace / comments / syntactic
+      sugar share one entry (they normalize to the same core AST);
+    * a per-call ``isolation`` override gets its *own* entry instead of
+      bypassing the cache (the historical behaviour), so ablation runs and
+      default runs never cross-contaminate;
+    * external-variable *bindings* are deliberately **not** part of the key:
+      plans carry parameter slots, so one cached entry serves every binding;
+    * document *content* is not part of the key either — plans only
+      reference the ``doc`` table and document URIs, so a cache may outlive
+      re-registration of documents (the :class:`~repro.core.session.Session`
+      facade relies on this).
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError("PlanCache needs a maxsize of at least 1")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, CompilationResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[CompilationResult]:
+        """Look up ``key``; a hit refreshes the entry's recency."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: CompilationResult) -> None:
+        """Insert ``key``, evicting the least recently used entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Counters for tests and monitoring."""
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+def _isolation_key(isolation: Optional[JoinGraphIsolation]) -> tuple:
+    """A hashable rendering of an isolation configuration (``None`` = default).
+
+    ``astuple`` keeps the key complete if ``JoinGraphIsolation`` grows new
+    configuration fields (all fields are plain scalars).
+    """
+    return dataclasses.astuple(isolation or JoinGraphIsolation())
+
+
 class XQueryProcessor:
-    """A purely relational XQuery processor over one document encoding."""
+    """A purely relational XQuery processor over one document encoding.
+
+    The processor owns the three execution configurations of the paper's
+    Table IX experiment (stacked plan, isolated plan, SQL join graph) plus
+    the :class:`PlanCache` that amortizes compilation, and it is the
+    factory for :class:`PreparedQuery` handles (:meth:`prepare`).
+    """
 
     def __init__(
         self,
@@ -82,6 +206,8 @@ class XQueryProcessor:
         with_default_indexes: bool = True,
         add_serialization_step: bool = False,
         database: Optional[Database] = None,
+        plan_cache: Optional[PlanCache] = None,
+        plan_cache_size: int = 128,
     ):
         self.encoding = encoding
         self.default_document = default_document or (
@@ -93,23 +219,55 @@ class XQueryProcessor:
             encoding, with_default_indexes=with_default_indexes
         )
         self.engine = RelationalEngine(self.database)
-        self._compilation_cache: dict[str, CompilationResult] = {}
+        #: Keyed LRU of compilation results (see :class:`PlanCache` for the
+        #: key contract).  May be shared between processors serving the same
+        #: logical catalog (e.g. across Session refreshes).
+        # NB: an empty PlanCache is falsy (it has __len__), so test for None.
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache(plan_cache_size)
+        #: Source-text -> plan-cache-key memo: repeated ad-hoc execution of
+        #: the *same* text skips parse+normalize (the key computation) and
+        #: answers from the LRU in two dict lookups.  Bounded alongside the
+        #: plan cache; per-processor (compiler settings are fixed here).
+        self._key_by_source: "OrderedDict[tuple[str, tuple], Hashable]" = OrderedDict()
 
     # -- compilation -----------------------------------------------------------------
 
-    def compile(self, source: str, isolation: Optional[JoinGraphIsolation] = None) -> CompilationResult:
-        """Parse, normalize, loop-lift and isolate ``source``."""
-        cache_key = source if isolation is None else None
-        if cache_key and cache_key in self._compilation_cache:
-            return self._compilation_cache[cache_key]
-        surface = parse_xquery(source)
-        core = normalize(surface, default_document=self.default_document)
-        compiler = LoopLiftingCompiler(
-            CompilerSettings(
-                add_serialization_step=self.add_serialization_step,
-                default_document=self.default_document,
-            )
+    def compile(
+        self, source: str, isolation: Optional[JoinGraphIsolation] = None
+    ) -> CompilationResult:
+        """Parse, normalize, loop-lift and isolate ``source``.
+
+        Results are cached in :attr:`plan_cache` under the normalized core
+        AST + compiler settings + isolation configuration; loop lifting,
+        isolation and join-graph extraction are amortized across calls.
+        Parse/normalize produce the key; for byte-identical source texts a
+        memo skips even that.
+        """
+        isolation_key = _isolation_key(isolation)
+        memo_key = (source, isolation_key)
+        known_key = self._key_by_source.get(memo_key)
+        if known_key is not None:
+            cached = self.plan_cache.get(known_key)
+            if cached is not None:
+                return cached
+        module = parse_module(source)
+        core = normalize(module.body, default_document=self.default_document)
+        settings = CompilerSettings(
+            add_serialization_step=self.add_serialization_step,
+            default_document=self.default_document,
         )
+        # The declarations are part of the key: two sources with the same
+        # core AST but different prologs (extra/unused or differently-typed
+        # externals) have different binding interfaces.
+        cache_key = (core, module.externals, settings, isolation_key)
+        self._key_by_source[memo_key] = cache_key
+        while len(self._key_by_source) > 4 * self.plan_cache.maxsize:
+            self._key_by_source.popitem(last=False)
+        if known_key != cache_key:  # not already looked up (and missed) above
+            cached = self.plan_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        compiler = LoopLiftingCompiler(settings)
         stacked = compiler.compile(core)
         isolated, report = (isolation or JoinGraphIsolation()).isolate(stacked)
         join_graph: Optional[JoinGraph] = None
@@ -122,7 +280,7 @@ class XQueryProcessor:
             join_graph_error = str(error)
         result = CompilationResult(
             source=source,
-            surface_ast=surface,
+            surface_ast=module.body,
             core_ast=core,
             stacked_plan=stacked,
             isolated_plan=isolated,
@@ -131,19 +289,88 @@ class XQueryProcessor:
             join_graph_sql=join_graph_sql,
             stacked_sql=generate_stacked_sql(stacked),
             join_graph_error=join_graph_error,
+            external_variables=module.externals,
         )
-        if cache_key:
-            self._compilation_cache[cache_key] = result
+        self.plan_cache.put(cache_key, result)
         return result
+
+    def prepare(
+        self, source: str, isolation: Optional[JoinGraphIsolation] = None
+    ) -> "PreparedQuery":
+        """Compile once, re-execute many times with fresh bindings.
+
+        The returned :class:`PreparedQuery` holds the compilation result
+        directly: :meth:`PreparedQuery.run` goes straight to execution —
+        no parsing, compilation, isolation or join-graph extraction.
+        """
+        compilation = self.compile(source, isolation)
+        return PreparedQuery(compilation, lambda: self)
 
     # -- execution --------------------------------------------------------------------
 
     def execute_stacked(
-        self, source: str, timeout_seconds: Optional[float] = None
+        self,
+        source: str,
+        timeout_seconds: Optional[float] = None,
+        bindings: Optional[Mapping[str, object]] = None,
     ) -> ExecutionOutcome:
         """Evaluate the *unrewritten* stacked plan with the algebra interpreter."""
         compilation = self.compile(source)
-        interpreter = PlanInterpreter(self.doc_table, timeout_seconds=timeout_seconds)
+        return self._run_stacked(compilation, timeout_seconds, bindings)
+
+    def execute_isolated_interpreted(
+        self,
+        source: str,
+        timeout_seconds: Optional[float] = None,
+        bindings: Optional[Mapping[str, object]] = None,
+    ) -> ExecutionOutcome:
+        """Evaluate the isolated plan with the algebra interpreter (sanity path)."""
+        compilation = self.compile(source)
+        return self._run_isolated(compilation, timeout_seconds, bindings)
+
+    def execute_join_graph(
+        self,
+        source: str,
+        timeout_seconds: Optional[float] = None,
+        bindings: Optional[Mapping[str, object]] = None,
+    ) -> ExecutionOutcome:
+        """Plan + execute the SQL join graph on the relational back-end."""
+        compilation = self.compile(source)
+        return self._run_join_graph(compilation, timeout_seconds, bindings)
+
+    def execute(
+        self,
+        source: str,
+        timeout_seconds: Optional[float] = None,
+        bindings: Optional[Mapping[str, object]] = None,
+    ) -> ExecutionOutcome:
+        """Execute with the best available strategy (join graph, else stacked)."""
+        return self._run_auto(self.compile(source), timeout_seconds, bindings)
+
+    def explain(
+        self, source: str, bindings: Optional[Mapping[str, object]] = None
+    ) -> str:
+        """The relational back-end's execution plan for the query's join graph."""
+        return self._explain(self.compile(source), bindings)
+
+    def serialize(self, items: list[int], separator: str = "") -> str:
+        """Serialize a result node sequence back to XML text."""
+        from repro.xmldb.serializer import serialize_sequence
+
+        return serialize_sequence(self.encoding, items, separator)
+
+    # -- execution of compiled plans (shared with PreparedQuery) ----------------------
+
+    def _run_stacked(
+        self,
+        compilation: CompilationResult,
+        timeout_seconds: Optional[float],
+        bindings: Optional[Mapping[str, object]],
+    ) -> ExecutionOutcome:
+        values = check_bindings(compilation.external_variables, bindings)
+        interpreter = PlanInterpreter(
+            self.doc_table, timeout_seconds=timeout_seconds, parameters=values or None
+        )
         table = interpreter.evaluate(compilation.stacked_plan)
         return ExecutionOutcome(
             items=self._items_from_table(table),
@@ -151,12 +378,16 @@ class XQueryProcessor:
             rows_scanned=interpreter.rows_materialised,
         )
 
-    def execute_isolated_interpreted(
-        self, source: str, timeout_seconds: Optional[float] = None
+    def _run_isolated(
+        self,
+        compilation: CompilationResult,
+        timeout_seconds: Optional[float],
+        bindings: Optional[Mapping[str, object]],
     ) -> ExecutionOutcome:
-        """Evaluate the isolated plan with the algebra interpreter (sanity path)."""
-        compilation = self.compile(source)
-        interpreter = PlanInterpreter(self.doc_table, timeout_seconds=timeout_seconds)
+        values = check_bindings(compilation.external_variables, bindings)
+        interpreter = PlanInterpreter(
+            self.doc_table, timeout_seconds=timeout_seconds, parameters=values or None
+        )
         table = interpreter.evaluate(compilation.isolated_plan)
         return ExecutionOutcome(
             items=self._items_from_table(table),
@@ -164,17 +395,43 @@ class XQueryProcessor:
             rows_scanned=interpreter.rows_materialised,
         )
 
-    def execute_join_graph(
-        self, source: str, timeout_seconds: Optional[float] = None
+    def _run_auto(
+        self,
+        compilation: CompilationResult,
+        timeout_seconds: Optional[float],
+        bindings: Optional[Mapping[str, object]],
     ) -> ExecutionOutcome:
-        """Plan + execute the SQL join graph on the relational back-end."""
-        compilation = self.compile(source)
+        if compilation.join_graph is not None:
+            return self._run_join_graph(compilation, timeout_seconds, bindings)
+        return self._run_stacked(compilation, timeout_seconds, bindings)
+
+    def _explain(
+        self,
+        compilation: CompilationResult,
+        bindings: Optional[Mapping[str, object]],
+    ) -> str:
         if compilation.join_graph is None:
             raise JoinGraphError(
                 compilation.join_graph_error or "the query has no isolated join graph"
             )
+        values = check_bindings(compilation.external_variables, bindings)
+        return self.engine.explain(compilation.join_graph, bindings=values or None)
+
+    def _run_join_graph(
+        self,
+        compilation: CompilationResult,
+        timeout_seconds: Optional[float],
+        bindings: Optional[Mapping[str, object]],
+    ) -> ExecutionOutcome:
+        if compilation.join_graph is None:
+            raise JoinGraphError(
+                compilation.join_graph_error or "the query has no isolated join graph"
+            )
+        values = check_bindings(compilation.external_variables, bindings)
         result: QueryResult = self.engine.execute(
-            compilation.join_graph, timeout_seconds=timeout_seconds
+            compilation.join_graph,
+            timeout_seconds=timeout_seconds,
+            bindings=values or None,
         )
         return ExecutionOutcome(
             items=[item for item in result.items()],
@@ -182,28 +439,6 @@ class XQueryProcessor:
             rows_scanned=result.rows_scanned,
             details=result,
         )
-
-    def execute(self, source: str, timeout_seconds: Optional[float] = None) -> ExecutionOutcome:
-        """Execute with the best available strategy (join graph, else stacked)."""
-        compilation = self.compile(source)
-        if compilation.join_graph is not None:
-            return self.execute_join_graph(source, timeout_seconds)
-        return self.execute_stacked(source, timeout_seconds)
-
-    def explain(self, source: str) -> str:
-        """The relational back-end's execution plan for the query's join graph."""
-        compilation = self.compile(source)
-        if compilation.join_graph is None:
-            raise JoinGraphError(
-                compilation.join_graph_error or "the query has no isolated join graph"
-            )
-        return self.engine.explain(compilation.join_graph)
-
-    def serialize(self, items: list[int], separator: str = "") -> str:
-        """Serialize a result node sequence back to XML text."""
-        from repro.xmldb.serializer import serialize_sequence
-
-        return serialize_sequence(self.encoding, items, separator)
 
     # -- helpers -----------------------------------------------------------------------
 
@@ -223,6 +458,66 @@ class XQueryProcessor:
             seen.add(value)
             items.append(value)  # type: ignore[arg-type]
         return items
+
+
+@dataclass
+class PreparedQuery:
+    """A compiled query, re-executable with fresh bindings.
+
+    ``run`` (and the per-configuration variants) go straight from the cached
+    plans to execution: per call only binding validation, parameter
+    substitution and — on the relational path — physical planning happen,
+    which is what makes prepared re-execution cheap and lets the planner
+    pick value-aware access paths per binding.
+
+    The processor is obtained through ``processor_supplier`` at each
+    execution, so handles created by a :class:`~repro.core.session.Session`
+    keep working (and see newly registered documents) after the session
+    refreshes its processor.
+    """
+
+    compilation: CompilationResult
+    processor_supplier: Callable[[], XQueryProcessor] = field(repr=False)
+
+    @property
+    def parameter_names(self) -> tuple[str, ...]:
+        """Names of the external variables that must be bound to run."""
+        return self.compilation.parameter_names
+
+    @property
+    def join_graph_sql(self) -> Optional[str]:
+        """The Fig. 8 / Fig. 9 SFW rendering (with ``:name`` parameter markers)."""
+        return self.compilation.join_graph_sql
+
+    def run(
+        self,
+        bindings: Optional[Mapping[str, object]] = None,
+        engine: str = "auto",
+        timeout_seconds: Optional[float] = None,
+    ) -> ExecutionOutcome:
+        """Execute with ``bindings``; ``engine`` picks the configuration.
+
+        ``"auto"`` uses the join graph when one was isolated (falling back
+        to the stacked plan), mirroring ``XQueryProcessor.execute``;
+        ``"stacked"``, ``"isolated"`` and ``"join-graph"`` force one
+        configuration.
+        """
+        processor = self.processor_supplier()
+        if engine == "auto":
+            return processor._run_auto(self.compilation, timeout_seconds, bindings)
+        if engine == "stacked":
+            return processor._run_stacked(self.compilation, timeout_seconds, bindings)
+        if engine == "isolated":
+            return processor._run_isolated(self.compilation, timeout_seconds, bindings)
+        if engine == "join-graph":
+            return processor._run_join_graph(self.compilation, timeout_seconds, bindings)
+        raise ValueError(
+            f"unknown engine {engine!r} (expected auto, stacked, isolated or join-graph)"
+        )
+
+    def explain(self, bindings: Optional[Mapping[str, object]] = None) -> str:
+        """Explain the relational plan the bindings would be executed with."""
+        return self.processor_supplier()._explain(self.compilation, bindings)
 
 
 def _sortable(value: object) -> tuple:

@@ -1,0 +1,222 @@
+"""Query-service facade: multi-document sessions and prepared queries.
+
+The paper evaluates one encoded document at a time; a production service
+instead keeps a *catalog* of documents and amortizes compilation over
+repeated traffic.  This module provides that layer:
+
+* :class:`DocumentStore` — a named-document catalog over one shared
+  ``pre|size|level|...`` encoding (``doc("uri")`` resolves against it), with
+  the original trees retained for the navigational (pureXML) configuration;
+* :class:`Session` — the service entry point: register documents, run
+  ad-hoc queries, and :meth:`~Session.prepare` parameterized queries whose
+  compiled plans live in a shared :class:`~repro.core.pipeline.PlanCache`.
+
+The plan cache survives document registration (compiled plans reference the
+``doc`` table and document URIs, never document content), so a long-running
+session keeps its compiled queries while its catalog grows.
+
+Example:
+
+>>> session = Session()
+>>> session.register("books.xml", "<books><book>A</book><book>B</book></books>")
+0
+>>> session.register("tiny.xml", "<a><b>1</b><b>2</b></a>")
+6
+>>> session.execute('doc("books.xml")/child::books/child::book').node_count
+2
+>>> prepared = session.prepare(
+...     'declare variable $n as xs:decimal external; doc("tiny.xml")/descendant::b[. > $n]')
+>>> prepared.run({"n": 1}).node_count
+1
+>>> sorted(session.document_uris())
+['books.xml', 'tiny.xml']
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.errors import CatalogError
+from repro.core.pipeline import (
+    ExecutionOutcome,
+    PlanCache,
+    PreparedQuery,
+    XQueryProcessor,
+)
+from repro.core.rewriter import JoinGraphIsolation
+from repro.purexml.engine import PureXMLEngine
+from repro.purexml.storage import XMLColumnStore
+from repro.xmldb.encoding import DocumentEncoding
+from repro.xmldb.infoset import NodeKind, XMLNode
+from repro.xmldb.parser import parse_xml
+
+
+class DocumentStore:
+    """A catalog of named documents sharing one ``doc`` encoding.
+
+    The encoding is append-only (``pre`` ranks of already-registered
+    documents never change), which is what lets sessions keep compiled
+    plans and previously returned ``pre`` ranks valid as the catalog grows.
+    """
+
+    def __init__(self) -> None:
+        self.encoding = DocumentEncoding()
+        self._documents: dict[str, XMLNode] = {}
+        #: Bumped on every registration; sessions use it to refresh derived
+        #: state (doc table, database, indexes) lazily.
+        self.version = 0
+
+    # -- registration ----------------------------------------------------------
+
+    def register_xml(self, uri: str, xml_text: str) -> int:
+        """Parse ``xml_text`` and register it under ``uri``.
+
+        Returns the ``pre`` rank of the new document's DOC row.
+        """
+        return self.register_document(parse_xml(xml_text, uri=uri))
+
+    def register_document(self, doc: XMLNode) -> int:
+        """Register an already-parsed document tree (a DOC node with a URI)."""
+        if doc.kind is not NodeKind.DOC:
+            raise CatalogError("register_document expects a document node")
+        uri = doc.name
+        if not uri:
+            raise CatalogError("documents need a URI (the DOC node's name)")
+        if uri in self._documents:
+            raise CatalogError(f"document {uri!r} is already registered")
+        root = self.encoding.append_document(doc)
+        self._documents[uri] = doc
+        self.version += 1
+        return root
+
+    # -- lookups ---------------------------------------------------------------
+
+    def document(self, uri: str) -> XMLNode:
+        """The original tree of a registered document (used by pureXML)."""
+        try:
+            return self._documents[uri]
+        except KeyError:
+            raise CatalogError(f"unknown document {uri!r}") from None
+
+    def document_uris(self) -> list[str]:
+        return list(self._documents)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._documents
+
+    def column_store(self, uri: str, segmented: bool = False) -> XMLColumnStore:
+        """An XML column store over one document (the pureXML substrate)."""
+        doc = self.document(uri)
+        if segmented:
+            return XMLColumnStore.from_segments(doc)
+        return XMLColumnStore.whole(doc)
+
+
+class Session:
+    """The query-service entry point: documents in, (prepared) queries out.
+
+    A session wraps a :class:`DocumentStore` and lazily maintains an
+    :class:`~repro.core.pipeline.XQueryProcessor` over its current state.
+    The :class:`~repro.core.pipeline.PlanCache` is owned by the *session*
+    and handed to every processor rebuild, so compiled plans survive
+    document registration; :class:`~repro.core.pipeline.PreparedQuery`
+    handles resolve the processor at execution time and therefore always
+    run against the current catalog.
+    """
+
+    def __init__(
+        self,
+        store: Optional[DocumentStore] = None,
+        default_document: Optional[str] = None,
+        with_default_indexes: bool = True,
+        add_serialization_step: bool = False,
+        plan_cache_size: int = 128,
+    ):
+        self.store = store or DocumentStore()
+        self.default_document = default_document
+        self.with_default_indexes = with_default_indexes
+        self.add_serialization_step = add_serialization_step
+        self.plan_cache = PlanCache(plan_cache_size)
+        self._processor: Optional[XQueryProcessor] = None
+        self._processor_version = -1
+
+    # -- documents -------------------------------------------------------------
+
+    def register(self, uri: str, xml_text: str) -> int:
+        """Register an XML document under ``uri``; returns its DOC ``pre`` rank."""
+        return self.store.register_xml(uri, xml_text)
+
+    def register_document(self, doc: XMLNode) -> int:
+        """Register an already-parsed document tree."""
+        return self.store.register_document(doc)
+
+    def document_uris(self) -> list[str]:
+        return self.store.document_uris()
+
+    # -- the current processor ---------------------------------------------------
+
+    @property
+    def processor(self) -> XQueryProcessor:
+        """The processor over the store's *current* state (lazily refreshed)."""
+        if self.store.version == self._processor_version and self._processor is not None:
+            return self._processor
+        if not len(self.store):
+            raise CatalogError("the session has no registered documents yet")
+        self._processor = XQueryProcessor(
+            self.store.encoding,
+            default_document=self.default_document,
+            with_default_indexes=self.with_default_indexes,
+            add_serialization_step=self.add_serialization_step,
+            plan_cache=self.plan_cache,
+        )
+        self._processor_version = self.store.version
+        return self._processor
+
+    # -- queries -----------------------------------------------------------------
+
+    def prepare(
+        self, source: str, isolation: Optional[JoinGraphIsolation] = None
+    ) -> PreparedQuery:
+        """Compile ``source`` once (through the shared plan cache).
+
+        The handle stays valid across later document registrations: it
+        re-resolves the session's processor on every
+        :meth:`~repro.core.pipeline.PreparedQuery.run`.
+        """
+        compilation = self.processor.compile(source, isolation)
+        return PreparedQuery(compilation, lambda: self.processor)
+
+    def execute(
+        self,
+        source: str,
+        bindings: Optional[Mapping[str, object]] = None,
+        timeout_seconds: Optional[float] = None,
+    ) -> ExecutionOutcome:
+        """Execute ad-hoc with the best available strategy (join graph, else stacked)."""
+        return self.processor.execute(
+            source, timeout_seconds=timeout_seconds, bindings=bindings
+        )
+
+    def explain(
+        self, source: str, bindings: Optional[Mapping[str, object]] = None
+    ) -> str:
+        """DB2-style explain of the relational plan for ``source``."""
+        return self.processor.explain(source, bindings=bindings)
+
+    def serialize(self, items: list[int], separator: str = "") -> str:
+        """Serialize result ``pre`` ranks back to XML text."""
+        return self.processor.serialize(items, separator)
+
+    # -- the navigational configuration -------------------------------------------
+
+    def purexml_engine(self, uri: str, segmented: bool = False) -> PureXMLEngine:
+        """A pureXML engine over one registered document.
+
+        Prepared pureXML queries (``engine.prepare(...)``) bind external
+        variables into the surface AST per run, exactly like the relational
+        configurations bind parameter slots.
+        """
+        return PureXMLEngine(self.store.column_store(uri, segmented=segmented))

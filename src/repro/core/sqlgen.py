@@ -33,7 +33,7 @@ from repro.algebra.operators import (
     Select,
     Serialize,
 )
-from repro.algebra.predicates import ColumnRef, Literal, Predicate, Sum
+from repro.algebra.predicates import ColumnRef, Literal, Parameter, Predicate, Sum
 from repro.core.joingraph import JoinGraph, extract_join_graph
 
 
@@ -75,6 +75,8 @@ def _render_predicate_sql(predicate: Predicate, resolve) -> str:
             return str(t.value)
         if isinstance(t, Sum):
             return " + ".join(term(part) for part in t.terms)
+        if isinstance(t, Parameter):
+            return f":{t.name}"
         raise TypeError(f"unexpected predicate term {t!r}")
 
     return " AND ".join(f"{term(c.left)} {c.op} {term(c.right)}" for c in predicate.conjuncts)

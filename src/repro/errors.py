@@ -43,6 +43,10 @@ class XQueryCompilationError(ReproError):
     """Raised by the loop-lifting compiler, e.g. for unbound variables."""
 
 
+class XQueryBindingError(ReproError):
+    """Raised when external-variable bindings are missing or ill-typed."""
+
+
 class AlgebraError(ReproError):
     """Raised for malformed algebra plans (unknown columns, arity errors)."""
 

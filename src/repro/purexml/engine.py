@@ -1,10 +1,27 @@
-"""The pureXML-substitute engine: XISCAN (value index) + XSCAN (traversal)."""
+"""The pureXML-substitute engine: XISCAN (value index) + XSCAN (traversal).
+
+Example — evaluate navigationally over a column store, ad-hoc and prepared:
+
+>>> from repro.xmldb.parser import parse_xml
+>>> from repro.purexml.storage import XMLColumnStore
+>>> doc = parse_xml("<a><b>1</b><b>2</b></a>", uri="tiny.xml")
+>>> engine = PureXMLEngine(XMLColumnStore.whole(doc))
+>>> engine.execute('doc("tiny.xml")/child::a/child::b').node_count
+2
+>>> prepared = engine.prepare('declare variable $v external; //b[. = $v]')
+>>> [node.string_value() for node in prepared.run({"v": "2"}).nodes]
+['2']
+
+Binding happens on the surface AST (external variables become literal
+nodes), so a bound comparison is XISCAN-eligible exactly like its ad-hoc
+literal counterpart.
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.errors import QueryTimeoutError
 from repro.purexml.pattern_index import XMLPatternIndex
@@ -12,7 +29,8 @@ from repro.purexml.storage import XMLColumnStore
 from repro.purexml.xscan import XScan
 from repro.xmldb.infoset import XMLNode
 from repro.xquery import ast
-from repro.xquery.parser import parse_xquery
+from repro.xquery.ast import QueryModule, bind_external_variables, check_bindings
+from repro.xquery.parser import parse_module
 
 
 @dataclass
@@ -42,9 +60,32 @@ class PureXMLEngine:
 
     # -- evaluation --------------------------------------------------------------------
 
-    def execute(self, source: str, timeout_seconds: Optional[float] = None) -> PureXMLResult:
-        """Evaluate ``source`` over every candidate row (XISCAN → XSCAN)."""
-        expr = parse_xquery(source)
+    def execute(
+        self,
+        source: str,
+        timeout_seconds: Optional[float] = None,
+        bindings: Optional[Mapping[str, object]] = None,
+    ) -> PureXMLResult:
+        """Evaluate ``source`` over every candidate row (XISCAN → XSCAN).
+
+        ``bindings`` supplies values for external variables the query
+        declares; for repeated execution with changing bindings, use
+        :meth:`prepare` to skip re-parsing.
+        """
+        return self._execute_module(parse_module(source), timeout_seconds, bindings)
+
+    def prepare(self, source: str) -> "PreparedPureXMLQuery":
+        """Parse once; re-run with fresh bindings via the returned handle."""
+        return PreparedPureXMLQuery(engine=self, module=parse_module(source))
+
+    def _execute_module(
+        self,
+        module: QueryModule,
+        timeout_seconds: Optional[float],
+        bindings: Optional[Mapping[str, object]],
+    ) -> PureXMLResult:
+        values = check_bindings(module.externals, bindings)
+        expr = bind_external_variables(module.body, values) if values else module.body
         started = time.perf_counter()
         deadline = started + timeout_seconds if timeout_seconds else None
         candidate_rids, used_index = self._xiscan(expr)
@@ -111,3 +152,28 @@ def _path_text(step: ast.Step) -> str:
         parts.append(f"{separator}{prefix}{node.node_test}")
         node = node.input
     return "".join(reversed(parts))
+
+
+@dataclass
+class PreparedPureXMLQuery:
+    """A parsed pureXML query, re-runnable with fresh bindings.
+
+    Late binding substitutes the external-variable slots of the surface AST
+    with literal nodes right before XISCAN/XSCAN, so index eligibility is
+    decided per binding.
+    """
+
+    engine: PureXMLEngine
+    module: QueryModule
+
+    @property
+    def parameter_names(self) -> tuple[str, ...]:
+        return self.module.parameter_names
+
+    def run(
+        self,
+        bindings: Optional[Mapping[str, object]] = None,
+        timeout_seconds: Optional[float] = None,
+    ) -> PureXMLResult:
+        """Evaluate with the given bindings (all declared externals required)."""
+        return self.engine._execute_module(self.module, timeout_seconds, bindings)

@@ -94,6 +94,11 @@ class XScan:
             return [True] if left and right else []
         if isinstance(expr, ast.Comparison):
             return [True] if self._compare(expr, env, None) else []
+        if isinstance(expr, ast.ExternalVar):
+            raise PureXMLError(
+                f"external variable ${expr.name} is unbound; bind it "
+                "(PureXMLEngine.prepare / bindings=) before XSCAN evaluation"
+            )
         raise PureXMLError(f"cannot evaluate AST node {type(expr).__name__}")
 
     # -- helpers -----------------------------------------------------------------------

@@ -1,10 +1,31 @@
-"""Query engine facade: execute isolated join graphs against the catalog."""
+"""Query engine facade: execute isolated join graphs against the catalog.
+
+Example — extract a join graph through the pipeline and run it here:
+
+>>> from repro.core.pipeline import XQueryProcessor
+>>> from repro.xmldb.encoding import encode_document
+>>> from repro.xmldb.parser import parse_xml
+>>> encoding = encode_document(parse_xml("<a><b>1</b><b>2</b></a>", uri="t.xml"))
+>>> processor = XQueryProcessor(encoding, default_document="t.xml")
+>>> graph = processor.compile("//b").join_graph
+>>> processor.engine.execute(graph).items()
+[2, 4]
+
+Join graphs of prepared queries carry :class:`~repro.core.joingraph.ParameterTerm`
+slots; pass ``bindings`` to resolve them at execution time:
+
+>>> prepared = processor.compile(
+...     'declare variable $n as xs:decimal external; //b[. > $n]')
+>>> processor.engine.execute(prepared.join_graph, bindings={"n": 1.0}).items()
+[4]
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Mapping, Optional
 
+from repro.errors import PlanningError
 from repro.core.joingraph import JoinGraph
 from repro.relational.catalog import Database
 from repro.relational.optimizer.planner import PlannedQuery, Planner
@@ -32,19 +53,44 @@ class RelationalEngine:
         self.database = database
         self.planner = Planner(database)
 
-    def plan(self, graph: JoinGraph) -> PlannedQuery:
-        """Produce (and return) the physical plan without executing it."""
-        return self.planner.plan(graph)
+    def _resolve(self, graph: JoinGraph, bindings: Optional[Mapping[str, object]]) -> JoinGraph:
+        """Late-bind parameter slots; refuse to plan a graph with open slots."""
+        if bindings:
+            graph = graph.bind(bindings)
+        unbound = graph.parameters()
+        if unbound:
+            slots = ", ".join(f":{name}" for name in sorted(unbound))
+            raise PlanningError(
+                f"join graph has unbound parameter(s) {slots}; supply bindings"
+            )
+        return graph
 
-    def explain(self, graph: JoinGraph) -> str:
+    def plan(
+        self, graph: JoinGraph, bindings: Optional[Mapping[str, object]] = None
+    ) -> PlannedQuery:
+        """Produce (and return) the physical plan without executing it.
+
+        Planning happens *after* parameter binding, so access-path selection
+        and join ordering see the concrete values (the paper's Fig. 11 plan
+        for Q2 starts at the ``price > 500`` selection for exactly this
+        reason).
+        """
+        return self.planner.plan(self._resolve(graph, bindings))
+
+    def explain(
+        self, graph: JoinGraph, bindings: Optional[Mapping[str, object]] = None
+    ) -> str:
         """DB2-style textual explain of the chosen execution plan."""
-        return self.plan(graph).explain()
+        return self.plan(graph, bindings).explain()
 
     def execute(
-        self, graph: JoinGraph, timeout_seconds: Optional[float] = None
+        self,
+        graph: JoinGraph,
+        timeout_seconds: Optional[float] = None,
+        bindings: Optional[Mapping[str, object]] = None,
     ) -> QueryResult:
         """Plan and execute ``graph``; raises ``QueryTimeoutError`` on budget overrun."""
-        planned = self.plan(graph)
+        planned = self.plan(graph, bindings)
         ctx = ExecutionContext(timeout_seconds)
         rows = list(planned.root.results(ctx))
         return QueryResult(

@@ -32,7 +32,7 @@ from typing import Callable, Iterator, Optional, Sequence
 
 from repro.errors import ExecutionError, QueryTimeoutError
 from repro.algebra.table import Table
-from repro.core.joingraph import ColumnTerm, Condition, ConstantTerm, SumTerm, Term
+from repro.core.joingraph import ColumnTerm, Condition, ConstantTerm, ParameterTerm, SumTerm, Term
 from repro.relational.btree import PRE_PLUS_SIZE, BTreeIndex
 
 #: A physical row: one value per slot of the operator's :class:`SlotMap`.
@@ -94,6 +94,11 @@ def compile_term(term: Term, slots: SlotMap) -> Callable[[Row], object]:
             return total
 
         return _sum
+    if isinstance(term, ParameterTerm):
+        raise ExecutionError(
+            f"parameter :{term.name} reached the physical layer unbound; "
+            "bind the join graph (JoinGraph.bind) before planning"
+        )
     raise ExecutionError(f"cannot compile term {term!r}")
 
 

@@ -18,10 +18,24 @@ via :func:`render`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Mapping, Optional, Union
+
+from repro.errors import XQueryBindingError
 
 #: General comparison operators of the fragment (grammar rule [60]).
 GENERAL_COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
+
+#: ``xs:`` atomic types accepted in ``declare variable $x as <type> external;``
+#: that select the numeric ``data`` column of the encoding.
+NUMERIC_XS_TYPES = frozenset(
+    {"xs:decimal", "xs:double", "xs:float", "xs:integer", "xs:int", "xs:long"}
+)
+
+#: The numeric types that additionally require integral values at bind time.
+INTEGER_XS_TYPES = frozenset({"xs:integer", "xs:int", "xs:long"})
+
+#: All accepted external-variable type annotations.
+EXTERNAL_XS_TYPES = NUMERIC_XS_TYPES | {"xs:string"}
 
 
 class Expression:
@@ -71,6 +85,54 @@ class VarRef(Expression):
     """A variable reference ``$name``."""
 
     name: str
+
+
+@dataclass(frozen=True)
+class ExternalVar(Expression):
+    """An occurrence of a ``declare variable $name ... external`` parameter.
+
+    Unlike :class:`VarRef` — which denotes a node sequence bound by ``for`` /
+    ``let`` — an external variable denotes an atomic *value* supplied at
+    execution time.  ``xs_type`` is the declared ``xs:`` type (``None`` for
+    an untyped declaration, which is treated as ``xs:string``); it decides
+    whether comparisons target the ``data`` (numeric) or ``value`` (string)
+    column of the encoding.
+    """
+
+    name: str
+    xs_type: Optional[str] = None
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.xs_type in NUMERIC_XS_TYPES
+
+
+@dataclass(frozen=True)
+class ExternalVariable:
+    """One ``declare variable $name (as xs:type)? external;`` declaration."""
+
+    name: str
+    xs_type: Optional[str] = None
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.xs_type in NUMERIC_XS_TYPES
+
+    def render(self) -> str:
+        annotation = f" as {self.xs_type}" if self.xs_type else ""
+        return f"declare variable ${self.name}{annotation} external;"
+
+
+@dataclass(frozen=True)
+class QueryModule:
+    """A parsed query: external-variable declarations plus the body expression."""
+
+    externals: tuple[ExternalVariable, ...]
+    body: Expression
+
+    @property
+    def parameter_names(self) -> tuple[str, ...]:
+        return tuple(declaration.name for declaration in self.externals)
 
 
 @dataclass(frozen=True)
@@ -170,6 +232,8 @@ def render(expr: Expression, indent: int = 0) -> str:
         return "."
     if isinstance(expr, VarRef):
         return f"${expr.name}"
+    if isinstance(expr, ExternalVar):
+        return f"${expr.name}"
     if isinstance(expr, Step):
         return f"{render(expr.input)}/{expr.axis}::{expr.node_test}"
     if isinstance(expr, Filter):
@@ -222,3 +286,149 @@ def child_expressions(expr: Expression) -> tuple[Expression, ...]:
     if isinstance(expr, FsDdo):
         return (expr.argument,)
     return ()
+
+
+def check_bindings(
+    externals: tuple[ExternalVariable, ...],
+    bindings: Optional[Mapping[str, object]],
+) -> dict[str, object]:
+    """Validate ``bindings`` against the declared external variables.
+
+    Returns the normalized binding map (numeric values coerced to ``float``,
+    matching what the parser produces for number literals, so prepared
+    execution is bit-for-bit identical to ad-hoc literal execution).  Raises
+    :class:`~repro.errors.XQueryBindingError` for missing bindings, bindings
+    to undeclared names, and values that do not match the declared type.
+    """
+    supplied = dict(bindings or {})
+    declared = {declaration.name: declaration for declaration in externals}
+    unknown = sorted(set(supplied) - set(declared))
+    if unknown:
+        known = ", ".join(f"${name}" for name in declared) or "none"
+        raise XQueryBindingError(
+            f"bindings for undeclared external variable(s) "
+            f"{', '.join(f'${name}' for name in unknown)} (declared: {known})"
+        )
+    missing = sorted(set(declared) - set(supplied))
+    if missing:
+        raise XQueryBindingError(
+            "missing binding(s) for external variable(s) "
+            + ", ".join(f"${name}" for name in missing)
+        )
+    normalized: dict[str, object] = {}
+    for name, declaration in declared.items():
+        value = supplied[name]
+        if declaration.is_numeric:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise XQueryBindingError(
+                    f"external variable ${name} is declared {declaration.xs_type} "
+                    f"but was bound to {type(value).__name__} {value!r}"
+                )
+            if declaration.xs_type in INTEGER_XS_TYPES and not float(value).is_integer():
+                raise XQueryBindingError(
+                    f"external variable ${name} is declared {declaration.xs_type} "
+                    f"but was bound to non-integral value {value!r}"
+                )
+            normalized[name] = float(value)
+        else:
+            if not isinstance(value, str):
+                hint = (
+                    " (declare it 'as xs:decimal' to bind numbers)"
+                    if isinstance(value, (int, float)) and not isinstance(value, bool)
+                    else ""
+                )
+                raise XQueryBindingError(
+                    f"external variable ${name} is declared as a string "
+                    f"but was bound to {type(value).__name__} {value!r}{hint}"
+                )
+            normalized[name] = value
+    return normalized
+
+
+#: Leaf node types that carry no sub-expressions (and no variable names).
+_LEAF_NODES = (StringLiteral, NumberLiteral, EmptySequence, Doc, Root, ContextItem)
+
+
+def rewrite_variables(
+    expr: Expression,
+    rewrite,
+    shadowed: frozenset[str] = frozenset(),
+) -> Expression:
+    """Structure-preserving rewrite of the variable leaves of an AST.
+
+    ``rewrite(node, shadowed)`` is called for every :class:`VarRef` and
+    :class:`ExternalVar` and returns its replacement; ``shadowed`` is the
+    set of names bound by enclosing ``for``/``let`` clauses at that point
+    (bindings shadow in their body, not in their own sequence / value
+    expression).  Composite nodes are rebuilt; an unknown node type raises,
+    so extending the AST without teaching this walker fails loudly instead
+    of silently skipping variables.
+    """
+    if isinstance(expr, (VarRef, ExternalVar)):
+        return rewrite(expr, shadowed)
+    if isinstance(expr, _LEAF_NODES):
+        return expr
+    if isinstance(expr, Step):
+        return Step(rewrite_variables(expr.input, rewrite, shadowed), expr.axis, expr.node_test)
+    if isinstance(expr, Filter):
+        return Filter(
+            rewrite_variables(expr.input, rewrite, shadowed),
+            rewrite_variables(expr.predicate, rewrite, shadowed),
+        )
+    if isinstance(expr, ForExpr):
+        return ForExpr(
+            expr.var,
+            rewrite_variables(expr.sequence, rewrite, shadowed),
+            rewrite_variables(expr.body, rewrite, shadowed | {expr.var}),
+        )
+    if isinstance(expr, LetExpr):
+        return LetExpr(
+            expr.var,
+            rewrite_variables(expr.value, rewrite, shadowed),
+            rewrite_variables(expr.body, rewrite, shadowed | {expr.var}),
+        )
+    if isinstance(expr, IfExpr):
+        return IfExpr(
+            rewrite_variables(expr.condition, rewrite, shadowed),
+            rewrite_variables(expr.then_branch, rewrite, shadowed),
+        )
+    if isinstance(expr, AndExpr):
+        return AndExpr(
+            rewrite_variables(expr.left, rewrite, shadowed),
+            rewrite_variables(expr.right, rewrite, shadowed),
+        )
+    if isinstance(expr, Comparison):
+        return Comparison(
+            rewrite_variables(expr.left, rewrite, shadowed),
+            expr.op,
+            rewrite_variables(expr.right, rewrite, shadowed),
+        )
+    if isinstance(expr, FnBoolean):
+        return FnBoolean(rewrite_variables(expr.argument, rewrite, shadowed))
+    if isinstance(expr, FsDdo):
+        return FsDdo(rewrite_variables(expr.argument, rewrite, shadowed))
+    raise TypeError(f"rewrite_variables cannot traverse {type(expr).__name__}")
+
+
+def bind_external_variables(expr: Expression, values: Mapping[str, object]) -> Expression:
+    """Replace every :class:`ExternalVar` by the corresponding literal node.
+
+    ``values`` must already be normalized via :func:`check_bindings`.  This
+    is the late-binding step of the navigational (XSCAN) path, where patterns
+    are matched directly over the surface AST.
+    """
+
+    def replace(node: Expression, shadowed: frozenset[str]) -> Expression:
+        if not isinstance(node, ExternalVar):
+            return node
+        try:
+            value = values[node.name]
+        except KeyError:
+            raise XQueryBindingError(
+                f"external variable ${node.name} is unbound"
+            ) from None
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return NumberLiteral(float(value))
+        return StringLiteral(str(value))
+
+    return rewrite_variables(expr, replace)

@@ -42,7 +42,14 @@ from repro.algebra.operators import (
     Select,
     Serialize,
 )
-from repro.algebra.predicates import ColumnRef, Comparison as AlgComparison, Literal, Predicate, Sum
+from repro.algebra.predicates import (
+    ColumnRef,
+    Comparison as AlgComparison,
+    Literal,
+    Parameter,
+    Predicate,
+    Sum,
+)
 from repro.xmldb.axes import Operand, axis_predicate_spec, node_test_conditions
 from repro.xquery import ast
 from repro.xquery.normalize import normalize
@@ -140,6 +147,10 @@ class LoopLiftingCompiler:
         if isinstance(expr, (ast.StringLiteral, ast.NumberLiteral)):
             raise XQueryCompilationError(
                 "standalone literals are only supported as comparison operands"
+            )
+        if isinstance(expr, ast.ExternalVar):
+            raise XQueryCompilationError(
+                f"external variable ${expr.name} is only supported as a comparison operand"
             )
         raise XQueryCompilationError(f"cannot compile AST node {type(expr).__name__}")
 
@@ -281,13 +292,17 @@ class LoopLiftingCompiler:
         return self._compile(expr.body, new_env, loop)
 
     # Rule COMP (and its value-join extension).
+    _LITERAL_OPERANDS = (ast.StringLiteral, ast.NumberLiteral, ast.ExternalVar)
+
     def _compile_comparison(
         self, expr: ast.Comparison, env: Mapping[str, Operator], loop: Operator
     ) -> Operator:
-        left_literal = isinstance(expr.left, (ast.StringLiteral, ast.NumberLiteral))
-        right_literal = isinstance(expr.right, (ast.StringLiteral, ast.NumberLiteral))
+        left_literal = isinstance(expr.left, self._LITERAL_OPERANDS)
+        right_literal = isinstance(expr.right, self._LITERAL_OPERANDS)
         if left_literal and right_literal:
-            raise XQueryCompilationError("comparisons between two literals are not supported")
+            raise XQueryCompilationError(
+                "comparisons between two literals / external variables are not supported"
+            )
         if left_literal or right_literal:
             if right_literal:
                 node_expr, literal, op = expr.left, expr.right, expr.op
@@ -306,11 +321,18 @@ class LoopLiftingCompiler:
     ) -> Operator:
         q = self._compile(node_expr, env, loop)
         atomized = Join(self.doc, q, Predicate.equality("pre", "item"))
-        if isinstance(literal, ast.NumberLiteral):
-            column, value = "data", literal.value
+        value_term: "Literal | Parameter"
+        if isinstance(literal, ast.ExternalVar):
+            # A late-bound parameter slot: the declared type picks the column
+            # (numeric comparisons go against ``data``, string ones against
+            # ``value``), the value arrives at execution time.
+            column = "data" if literal.is_numeric else "value"
+            value_term = Parameter(literal.name)
+        elif isinstance(literal, ast.NumberLiteral):
+            column, value_term = "data", Literal(literal.value)
         else:
-            column, value = "value", literal.value  # type: ignore[union-attr]
-        selected = Select(atomized, Predicate.of(AlgComparison(ColumnRef(column), op, Literal(value))))
+            column, value_term = "value", Literal(literal.value)  # type: ignore[union-attr]
+        selected = Select(atomized, Predicate.of(AlgComparison(ColumnRef(column), op, value_term)))
         per_iteration = Distinct(Project(selected, [("iter", "iter")]))
         return Attach(Attach(per_iteration, "pos", 1), "item", 1)
 

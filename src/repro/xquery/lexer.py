@@ -10,13 +10,13 @@ from repro.errors import XQuerySyntaxError
 #: Multi-character punctuation, longest first so that ``//`` wins over ``/``.
 _PUNCTUATION = (
     "::", ":=", "//", "!=", "<=", ">=", "(", ")", "[", "]", ",", "/", "@", "$",
-    "*", "=", "<", ">", ".",
+    "*", "=", "<", ">", ".", ";",
 )
 
 _KEYWORDS = frozenset(
     {
         "for", "let", "in", "where", "return", "if", "then", "else", "and", "or",
-        "doc",
+        "doc", "declare", "variable", "external", "as",
     }
 )
 

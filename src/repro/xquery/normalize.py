@@ -35,6 +35,7 @@ from repro.xquery.ast import (
     Doc,
     EmptySequence,
     Expression,
+    ExternalVar,
     Filter,
     FnBoolean,
     ForExpr,
@@ -87,7 +88,7 @@ def _norm(expr: Expression, state: _NormalizerState) -> Expression:
         return _resolve_root(state)
     if isinstance(expr, VarRef):
         return expr
-    if isinstance(expr, (StringLiteral, NumberLiteral, EmptySequence)):
+    if isinstance(expr, (StringLiteral, NumberLiteral, EmptySequence, ExternalVar)):
         return expr
     if isinstance(expr, Comparison):
         return Comparison(_norm(expr.left, state), expr.op, _norm(expr.right, state))

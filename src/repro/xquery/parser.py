@@ -23,17 +23,22 @@ from repro.xquery.ast import (
     ContextItem,
     Doc,
     EmptySequence,
+    EXTERNAL_XS_TYPES,
     Expression,
+    ExternalVar,
+    ExternalVariable,
     Filter,
     ForExpr,
     GENERAL_COMPARISONS,
     IfExpr,
     LetExpr,
     NumberLiteral,
+    QueryModule,
     Root,
     Step,
     StringLiteral,
     VarRef,
+    rewrite_variables,
 )
 from repro.xquery.lexer import Token, tokenize
 
@@ -78,12 +83,66 @@ class _Parser:
             )
         return self.advance()
 
+    def _peek_is_keyword(self, offset: int, text: str) -> bool:
+        token = self.peek(offset)
+        return token.type == "keyword" and token.text == text
+
+    def _expect_var_name_token(self) -> Token:
+        """Variable names may collide with keywords (``$variable``, ``$as``, ...)."""
+        token = self.peek()
+        if token.type in ("name", "keyword"):
+            return self.advance()
+        raise XQuerySyntaxError(
+            f"expected a variable name, found {token.text or token.type!r}", token.position
+        )
+
     # -- grammar ----------------------------------------------------------------
 
-    def parse_query(self) -> Expression:
-        expr = self.parse_expr_single()
+    def parse_module(self) -> QueryModule:
+        externals = self.parse_prolog()
+        body = self.parse_expr_single()
         self.expect("eof")
-        return expr
+        if externals:
+            substitutions = {
+                declaration.name: ExternalVar(declaration.name, declaration.xs_type)
+                for declaration in externals
+            }
+            body = _substitute_externals(body, substitutions)
+        return QueryModule(externals=tuple(externals), body=body)
+
+    def parse_prolog(self) -> list[ExternalVariable]:
+        """Parse ``declare variable $name (as xs:type)? external ;`` declarations."""
+        externals: list[ExternalVariable] = []
+        seen: set[str] = set()
+        # Two-token lookahead: a lone ``declare`` is a legal element name
+        # (e.g. the path ``declare/child::x``), only ``declare variable``
+        # opens a declaration.
+        while self.check("keyword", "declare") and self._peek_is_keyword(1, "variable"):
+            self.advance()
+            self.expect("keyword", "variable")
+            self.expect("$")
+            name_token = self._expect_var_name_token()
+            xs_type: str | None = None
+            if self.accept("keyword", "as"):
+                type_token = self.expect("name")
+                if type_token.text not in EXTERNAL_XS_TYPES:
+                    supported = ", ".join(sorted(EXTERNAL_XS_TYPES))
+                    raise XQuerySyntaxError(
+                        f"unsupported external variable type {type_token.text!r} "
+                        f"(supported: {supported})",
+                        type_token.position,
+                    )
+                xs_type = type_token.text
+            self.expect("keyword", "external")
+            self.expect(";")
+            if name_token.text in seen:
+                raise XQuerySyntaxError(
+                    f"duplicate declaration of external variable ${name_token.text}",
+                    name_token.position,
+                )
+            seen.add(name_token.text)
+            externals.append(ExternalVariable(name_token.text, xs_type))
+        return externals
 
     def parse_expr_single(self) -> Expression:
         if self.check("keyword", "for") or self.check("keyword", "let"):
@@ -122,7 +181,7 @@ class _Parser:
 
     def _parse_binding(self, error_hint: str, separator: str) -> tuple[str, Expression]:
         self.expect("$")
-        var = self.expect("name").text
+        var = self._expect_var_name_token().text
         if separator == "in":
             self.expect("keyword", "in")
         else:
@@ -218,7 +277,7 @@ class _Parser:
             self.expect(")")
             return Doc(uri)
         if self.accept("$"):
-            return VarRef(self.expect("name").text)
+            return VarRef(self._expect_var_name_token().text)
         if self.accept("."):
             return ContextItem()
         if self.check("("):
@@ -259,7 +318,13 @@ class _Parser:
                 return Step(base, axis, self._expect_step_name())
             if self.accept("*"):
                 return Step(base, axis, "*")
-            test_token = self.expect("name")
+            test_token = self.peek()
+            if test_token.type not in ("name", "keyword"):
+                raise XQuerySyntaxError(
+                    f"expected a node test, found {test_token.text or test_token.type!r}",
+                    test_token.position,
+                )
+            self.advance()
             node_test = self._maybe_kind_test(test_token.text)
             return Step(base, axis, node_test)
         node_test = self._maybe_kind_test(name)
@@ -270,6 +335,9 @@ class _Parser:
     def _expect_step_name(self) -> str:
         if self.accept("*"):
             return "*"
+        token = self.peek()
+        if token.type in ("name", "keyword"):
+            return self.advance().text
         return self.expect("name").text
 
     def _maybe_kind_test(self, name: str) -> str:
@@ -281,6 +349,47 @@ class _Parser:
         return name
 
 
+def _substitute_externals(
+    expr: Expression, substitutions: dict[str, ExternalVar]
+) -> Expression:
+    """Replace unshadowed :class:`VarRef` occurrences of declared externals.
+
+    ``for``/``let`` bindings shadow an external of the same name inside their
+    body (but not inside their own sequence / value expression), following
+    the usual XQuery scoping rules — :func:`rewrite_variables` threads the
+    shadow set.
+    """
+
+    def replace(node: Expression, shadowed: frozenset[str]) -> Expression:
+        if isinstance(node, VarRef) and node.name in substitutions and node.name not in shadowed:
+            return substitutions[node.name]
+        return node
+
+    return rewrite_variables(expr, replace)
+
+
+def parse_module(source: str) -> QueryModule:
+    """Parse XQuery text (prolog + body) into a :class:`QueryModule`.
+
+    External variables declared in the prolog occur in the body as
+    :class:`~repro.xquery.ast.ExternalVar` nodes, ready for the compiler to
+    turn into late-bound parameter slots.
+    """
+    return _Parser(tokenize(source)).parse_module()
+
+
 def parse_xquery(source: str) -> Expression:
-    """Parse XQuery text into a surface AST."""
-    return _Parser(tokenize(source)).parse_query()
+    """Parse XQuery text into a surface AST.
+
+    Queries that declare external variables must go through
+    :func:`parse_module` (or a prepared-query API such as
+    ``XQueryProcessor.prepare``) so that bindings can be supplied.
+    """
+    module = _Parser(tokenize(source)).parse_module()
+    if module.externals:
+        names = ", ".join(f"${declaration.name}" for declaration in module.externals)
+        raise XQuerySyntaxError(
+            f"query declares external variable(s) {names}; "
+            "use parse_module() / prepare() and supply bindings"
+        )
+    return module.body

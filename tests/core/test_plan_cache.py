@@ -1,0 +1,137 @@
+"""The compilation cache: key contract, settings sensitivity, LRU behaviour.
+
+Regression background: the seed cached compilations keyed on the raw source
+string and handled per-call ``isolation`` overrides by *disabling* caching
+altogether, so ablation runs recompiled on every call and a cached default
+result could never coexist with an override.  The keyed :class:`PlanCache`
+keys on (core AST, compiler settings, isolation configuration) instead.
+"""
+
+import pytest
+
+from repro.core.pipeline import PlanCache, XQueryProcessor
+from repro.core.rewriter import JoinGraphIsolation
+from repro.xmldb.encoding import encode_document
+from repro.xmldb.parser import parse_xml
+
+XML = "<site><a><b>1</b></a><a><b>2</b></a></site>"
+QUERY = 'doc("t.xml")/descendant::a/child::b'
+
+
+@pytest.fixture()
+def processor():
+    encoding = encode_document(parse_xml(XML, uri="t.xml"))
+    return XQueryProcessor(encoding, default_document="t.xml")
+
+
+# -- key contract --------------------------------------------------------------------
+
+
+def test_recompilation_hits_the_cache(processor):
+    first = processor.compile(QUERY)
+    second = processor.compile(QUERY)
+    assert second is first
+    assert processor.plan_cache.stats()["hits"] == 1
+
+
+def test_source_formatting_does_not_miss(processor):
+    """Whitespace / comment variants normalize to the same core AST key."""
+    first = processor.compile(QUERY)
+    variant = processor.compile(
+        ' doc("t.xml") (: the same query :) /descendant::a/child::b '
+    )
+    assert variant is first
+
+
+def test_isolation_override_is_cached_under_its_own_key(processor):
+    """Regression: overrides used to disable caching instead of keying it."""
+    ablated = JoinGraphIsolation(enable_join_goal=False, enable_distinct_goal=False)
+    full = processor.compile(QUERY)
+    off = processor.compile(QUERY, isolation=ablated)
+    assert off is not full
+    # The ablated pipeline leaves a bigger plan than full isolation.
+    assert (
+        off.isolation_report.final_operator_count
+        > full.isolation_report.final_operator_count
+    )
+    # Both configurations are cached, independently.
+    assert processor.compile(QUERY, isolation=ablated) is off
+    assert processor.compile(QUERY) is full
+
+
+def test_equivalent_isolation_config_shares_the_entry(processor):
+    """The key is the isolation *configuration*, not the object identity."""
+    first = processor.compile(QUERY, isolation=JoinGraphIsolation())
+    default = processor.compile(QUERY)
+    again = processor.compile(QUERY, isolation=JoinGraphIsolation())
+    assert first is default is again
+
+
+def test_prologs_with_same_body_do_not_collide(processor):
+    """Regression: the declarations are part of the key, not just the body.
+
+    Two sources whose bodies normalize identically but whose prologs differ
+    (an extra declared-but-unused external) have different binding
+    interfaces and must not share a cache entry.
+    """
+    one = processor.compile(
+        'declare variable $n as xs:decimal external; doc("t.xml")/descendant::b[. > $n]'
+    )
+    two = processor.compile(
+        "declare variable $n as xs:decimal external; "
+        "declare variable $m as xs:decimal external; "
+        'doc("t.xml")/descendant::b[. > $n]'
+    )
+    assert two is not one
+    assert one.parameter_names == ("n",)
+    assert two.parameter_names == ("n", "m")
+    # Both entries stay valid and executable with their own interfaces.
+    assert (
+        processor.execute_stacked(two.source, bindings={"n": 0, "m": 9}).items
+        == processor.execute_stacked(one.source, bindings={"n": 0}).items
+    )
+
+
+def test_bindings_do_not_fragment_the_cache(processor):
+    source = 'declare variable $n as xs:decimal external; doc("t.xml")/descendant::b[. > $n]'
+    prepared = processor.prepare(source)
+    misses_after_prepare = processor.plan_cache.stats()["misses"]
+    assert prepared.run({"n": 0}).items != prepared.run({"n": 1}).items
+    assert processor.plan_cache.stats()["misses"] == misses_after_prepare
+    assert processor.prepare(source).compilation is prepared.compilation
+
+
+# -- LRU mechanics -------------------------------------------------------------------
+
+
+def test_lru_eviction_and_counters():
+    encoding = encode_document(parse_xml(XML, uri="t.xml"))
+    processor = XQueryProcessor(
+        encoding, default_document="t.xml", plan_cache=PlanCache(maxsize=2)
+    )
+    q1 = 'doc("t.xml")/descendant::a'
+    q2 = 'doc("t.xml")/descendant::b'
+    q3 = 'doc("t.xml")/child::site'
+    first = processor.compile(q1)
+    processor.compile(q2)
+    processor.compile(q3)  # evicts q1
+    stats = processor.plan_cache.stats()
+    assert stats["size"] == 2
+    assert stats["evictions"] == 1
+    assert processor.compile(q1) is not first  # recompiled after eviction
+
+
+def test_lru_recency_refresh():
+    cache = PlanCache(maxsize=2)
+    cache.put("a", "A")
+    cache.put("b", "B")
+    assert cache.get("a") == "A"  # refresh 'a'
+    cache.put("c", "C")  # evicts 'b', not 'a'
+    assert cache.get("a") == "A"
+    assert cache.get("b") is None
+    assert cache.stats()["evictions"] == 1
+
+
+def test_plan_cache_rejects_zero_size():
+    with pytest.raises(ValueError):
+        PlanCache(maxsize=0)

@@ -1,0 +1,134 @@
+"""Session / DocumentStore: multi-document catalogs and prepared queries."""
+
+import pytest
+
+from repro.errors import CatalogError, XQueryBindingError
+from repro.core.session import DocumentStore, Session
+from repro.xmldb.parser import parse_xml
+
+BOOKS = "<books><book><title>AA</title></book><book><title>BB</title></book></books>"
+AUCTION = (
+    "<site><open_auction><initial>15</initial></open_auction>"
+    "<open_auction><initial>7</initial></open_auction></site>"
+)
+
+
+@pytest.fixture()
+def session():
+    s = Session()
+    s.register("books.xml", BOOKS)
+    s.register("auction.xml", AUCTION)
+    return s
+
+
+# -- DocumentStore ----------------------------------------------------------------
+
+
+def test_store_registers_multiple_documents():
+    store = DocumentStore()
+    first = store.register_xml("a.xml", "<a/>")
+    second = store.register_xml("b.xml", "<b><c/></b>")
+    assert first == 0 and second > first
+    assert set(store.document_uris()) == {"a.xml", "b.xml"}
+    assert "a.xml" in store and len(store) == 2
+    # pre ranks continue across documents; both DOC rows are resolvable.
+    assert store.encoding.document_root("a.xml") == first
+    assert store.encoding.document_root("b.xml") == second
+
+
+def test_store_rejects_duplicates_and_anonymous_documents():
+    store = DocumentStore()
+    store.register_xml("a.xml", "<a/>")
+    with pytest.raises(CatalogError, match="already registered"):
+        store.register_xml("a.xml", "<a/>")
+    with pytest.raises(CatalogError, match="document node"):
+        doc = parse_xml("<a/>", uri="x.xml")
+        store.register_document(doc.children[0])
+
+
+# -- query routing ------------------------------------------------------------------
+
+
+def test_doc_function_targets_the_named_document(session):
+    books = session.execute('doc("books.xml")/descendant::title')
+    auctions = session.execute('doc("auction.xml")/descendant::initial')
+    assert books.node_count == 2
+    assert auctions.node_count == 2
+    # Serialization proves the items belong to the right documents.
+    assert "<title>" in session.serialize(sorted(books.items))
+    assert "<initial>" in session.serialize(sorted(auctions.items))
+
+
+def test_session_without_documents_refuses_queries():
+    with pytest.raises(CatalogError, match="no registered documents"):
+        Session().execute("//a")
+
+
+# -- prepared queries across catalog growth ------------------------------------------
+
+
+def test_prepared_query_survives_document_registration(session):
+    prepared = session.prepare(
+        "declare variable $lo as xs:decimal external; "
+        'doc("auction.xml")/descendant::initial[. > $lo]'
+    )
+    before = prepared.run({"lo": 10}).items
+    assert len(before) == 1
+    # Growing the catalog must not invalidate the handle, the cached plan,
+    # or the pre ranks of already-registered documents (append-only).
+    session.register("more.xml", "<more><initial>99</initial></more>")
+    misses = session.plan_cache.stats()["misses"]
+    after = prepared.run({"lo": 10}).items
+    assert after == before
+    assert session.plan_cache.stats()["misses"] == misses
+    # And the new document is immediately queryable.
+    assert session.execute('doc("more.xml")/descendant::initial').node_count == 1
+
+
+def test_plan_cache_is_shared_across_processor_refreshes(session):
+    query = 'doc("books.xml")/descendant::title'
+    session.execute(query)
+    misses = session.plan_cache.stats()["misses"]
+    session.register("extra.xml", "<x/>")
+    session.execute(query)  # processor rebuilt, compilation reused
+    stats = session.plan_cache.stats()
+    assert stats["misses"] == misses
+    assert stats["hits"] >= 1
+
+
+def test_prepared_binding_validation(session):
+    prepared = session.prepare(
+        "declare variable $lo as xs:decimal external; "
+        'doc("auction.xml")/descendant::initial[. > $lo]'
+    )
+    with pytest.raises(XQueryBindingError, match="missing binding"):
+        prepared.run()
+    with pytest.raises(XQueryBindingError, match="undeclared"):
+        prepared.run({"lo": 1, "hi": 2})
+    with pytest.raises(XQueryBindingError, match="xs:decimal"):
+        prepared.run({"lo": "cheap"})
+
+
+def test_prepared_explain_requires_bindings(session):
+    from repro.errors import PlanningError
+
+    prepared = session.prepare(
+        "declare variable $lo as xs:decimal external; "
+        'doc("auction.xml")/descendant::initial[. > $lo]'
+    )
+    assert prepared.join_graph_sql is not None
+    assert ":lo" in prepared.join_graph_sql  # unbound marker in the SQL text
+    assert "RETURN" in prepared.explain({"lo": 10})
+    # The raw (unbound) graph refuses to plan: slots must be bound first.
+    with pytest.raises(PlanningError, match=":lo"):
+        session.processor.engine.plan(prepared.compilation.join_graph)
+
+
+def test_purexml_engine_over_store(session):
+    engine = session.purexml_engine("books.xml")
+    prepared = engine.prepare(
+        "declare variable $t external; "
+        'doc("books.xml")/descendant::title[. = $t]'
+    )
+    assert [n.string_value() for n in prepared.run({"t": "BB"}).nodes] == ["BB"]
+    assert prepared.run({"t": "nope"}).node_count == 0
