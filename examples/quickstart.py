@@ -33,6 +33,15 @@ def main() -> None:
     print(f"\n=== Result: {len(items)} open_auction elements with a bidder ===")
     print(processor.serialize(items[:2], separator="\n")[:400], "...")
 
+    # The same SFW block on a real RDBMS: SQLite, loaded with the Fig. 2
+    # encoding and the paper's access-path indexes (configuration="sql").
+    via_sqlite = processor.execute(QUERY, configuration="sql")
+    assert via_sqlite.items == outcome.items
+    print(f"\n=== SQLite agrees: {via_sqlite.node_count} rows via "
+          f"{len(processor.sql_backend.indexes())} indexes ===")
+    for line in processor.sql_backend.query_plan(via_sqlite.details.sql):
+        print("  ", line)
+
 
 if __name__ == "__main__":
     main()

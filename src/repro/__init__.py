@@ -33,6 +33,12 @@ The package is organised as follows:
     storage (whole / segmented), XMLPATTERN value indexes, and a
     TurboXPath-style XISCAN/XSCAN evaluator.
 
+``repro.sqlbackend``
+    The *real* RDBMS backend: the Fig. 2 encoding mirrored into SQLite,
+    the paper's access-path indexes, and execution of both emitted SQL
+    renderings (isolated SFW block vs stacked WITH-chain) with named
+    parameter binding — ``configuration="sql"`` end to end.
+
 ``repro.bench``
     Workloads (Q1-Q6), dataset builders, and reporting helpers used by the
     benchmark harness under ``benchmarks/``.
@@ -45,6 +51,7 @@ from repro.core.pipeline import (
     XQueryProcessor,
 )
 from repro.core.session import DocumentStore, Session
+from repro.sqlbackend.backend import SQLiteBackend
 
 __all__ = [
     "XQueryProcessor",
@@ -53,6 +60,7 @@ __all__ = [
     "PreparedQuery",
     "Session",
     "DocumentStore",
+    "SQLiteBackend",
     "__version__",
 ]
 

@@ -11,7 +11,11 @@ of the paper's evaluation:
    * the **stacked** plan with the algebra interpreter (the configuration the
      paper labels "stacked" in Table IX), or
    * the **join graph** through the relational back-end with its B-tree
-     indexes and cost-based planner (the "join graph" configuration).
+     indexes and cost-based planner (the "join graph" configuration), or
+   * the **SQL** renderings on a real RDBMS — SQLite via
+     :mod:`repro.sqlbackend` (``configuration="sql"`` runs the isolated
+     SFW block of Fig. 8/9, ``"sql-stacked"`` the stacked ``WITH``-chain
+     that Section IV measures against it).
 
 Both executions return the result node sequence as ``pre`` ranks, which can
 be serialized back to XML text via :mod:`repro.xmldb.serializer`.
@@ -45,7 +49,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Mapping, Optional
 
-from repro.errors import JoinGraphError
+from repro.errors import JoinGraphError, PlanningError
 from repro.algebra.interpreter import PlanInterpreter
 from repro.algebra.operators import Serialize
 from repro.algebra.table import Table
@@ -54,6 +58,8 @@ from repro.core.rewriter import IsolationReport, JoinGraphIsolation
 from repro.core.sqlgen import generate_stacked_sql, render_join_graph
 from repro.relational.catalog import Database, database_from_encoding
 from repro.relational.engine import QueryResult, RelationalEngine
+from repro.sqlbackend.backend import SQLiteBackend, SQLResult
+from repro.sqlbackend.decode import ordered_items, sequence_items
 from repro.xmldb.encoding import DOC_COLUMNS, DocumentEncoding
 from repro.xquery.ast import Expression, ExternalVariable, check_bindings, render
 from repro.xquery.compiler import CompilerSettings, LoopLiftingCompiler
@@ -84,6 +90,13 @@ class CompilationResult:
     #: External variables the query declares; their values arrive as
     #: ``bindings`` at execution time (empty for ad-hoc queries).
     external_variables: tuple[ExternalVariable, ...] = ()
+    #: Lazily rendered join-graph SQL for the RDBMS backend: the Fig. 8/9
+    #: block with an explicit CROSS JOIN order (see
+    #: ``XQueryProcessor._sql_backend_sql``).  Memoized as ``(stats key,
+    #: sql)`` so prepared queries re-execute without re-rendering any SQL,
+    #: while catalog growth (a processor rebuild with fresh statistics)
+    #: invalidates the pinned join order instead of freezing a stale one.
+    sql_backend_sql: Optional[tuple[tuple, str]] = field(default=None, repr=False)
 
     def core_text(self) -> str:
         """The normalized XQuery Core rendering (cf. Section II-D)."""
@@ -97,7 +110,14 @@ class CompilationResult:
 
 @dataclass
 class ExecutionOutcome:
-    """Result of executing one query in one configuration."""
+    """Result of executing one query in one configuration.
+
+    ``rows_scanned`` counts rows the engine materialised/scanned — for the
+    interpreted configurations only.  The ``sql``/``sql-stacked`` paths
+    report 0: the stdlib SQLite driver exposes no scan counters, and a
+    wrong-but-plausible number would be worse than none (result cardinality
+    lives in ``details.row_count`` / :attr:`node_count`).
+    """
 
     items: list[int]
     configuration: str
@@ -193,10 +213,12 @@ def _isolation_key(isolation: Optional[JoinGraphIsolation]) -> tuple:
 class XQueryProcessor:
     """A purely relational XQuery processor over one document encoding.
 
-    The processor owns the three execution configurations of the paper's
-    Table IX experiment (stacked plan, isolated plan, SQL join graph) plus
-    the :class:`PlanCache` that amortizes compilation, and it is the
-    factory for :class:`PreparedQuery` handles (:meth:`prepare`).
+    The processor owns the execution configurations of the paper's
+    Table IX experiment — stacked plan, isolated plan, the interpreted SQL
+    join graph, and the join graph on a *real* RDBMS (SQLite, lazily
+    attached via :attr:`sql_backend`) — plus the :class:`PlanCache` that
+    amortizes compilation, and it is the factory for :class:`PreparedQuery`
+    handles (:meth:`prepare`).
     """
 
     def __init__(
@@ -208,6 +230,7 @@ class XQueryProcessor:
         database: Optional[Database] = None,
         plan_cache: Optional[PlanCache] = None,
         plan_cache_size: int = 128,
+        sql_backend: Optional[SQLiteBackend] = None,
     ):
         self.encoding = encoding
         self.default_document = default_document or (
@@ -229,6 +252,23 @@ class XQueryProcessor:
         #: answers from the LRU in two dict lookups.  Bounded alongside the
         #: plan cache; per-processor (compiler settings are fixed here).
         self._key_by_source: "OrderedDict[tuple[str, tuple], Hashable]" = OrderedDict()
+        #: The RDBMS behind ``configuration="sql"``; created lazily unless a
+        #: shared backend (e.g. Session-owned) was injected.
+        self._sql_backend = sql_backend
+
+    @property
+    def sql_backend(self) -> SQLiteBackend:
+        """The SQLite mirror of :attr:`encoding`, synced on every access.
+
+        The sync is incremental (and a no-op once mirrored), so touching
+        this property per execution is cheap; injecting a backend through
+        the constructor lets a :class:`~repro.core.session.Session` keep
+        one mirror alive across processor rebuilds.
+        """
+        if self._sql_backend is None:
+            self._sql_backend = SQLiteBackend()
+        self._sql_backend.sync(self.encoding)
+        return self._sql_backend
 
     # -- compilation -----------------------------------------------------------------
 
@@ -338,14 +378,41 @@ class XQueryProcessor:
         compilation = self.compile(source)
         return self._run_join_graph(compilation, timeout_seconds, bindings)
 
-    def execute(
+    def execute_sql(
         self,
         source: str,
         timeout_seconds: Optional[float] = None,
         bindings: Optional[Mapping[str, object]] = None,
     ) -> ExecutionOutcome:
-        """Execute with the best available strategy (join graph, else stacked)."""
-        return self._run_auto(self.compile(source), timeout_seconds, bindings)
+        """Execute the isolated join-graph SFW block on the SQLite backend."""
+        compilation = self.compile(source)
+        return self._run_sql(compilation, timeout_seconds, bindings)
+
+    def execute_sql_stacked(
+        self,
+        source: str,
+        timeout_seconds: Optional[float] = None,
+        bindings: Optional[Mapping[str, object]] = None,
+    ) -> ExecutionOutcome:
+        """Execute the stacked ``WITH``-chain on the SQLite backend (Section IV)."""
+        compilation = self.compile(source)
+        return self._run_sql_stacked(compilation, timeout_seconds, bindings)
+
+    def execute(
+        self,
+        source: str,
+        timeout_seconds: Optional[float] = None,
+        bindings: Optional[Mapping[str, object]] = None,
+        configuration: str = "auto",
+    ) -> ExecutionOutcome:
+        """Execute ``source`` in one Table IX configuration.
+
+        ``configuration`` is ``"auto"`` (join graph when one was isolated,
+        else stacked), ``"stacked"``, ``"isolated"``, ``"join-graph"``,
+        ``"sql"`` (isolated SFW block on SQLite) or ``"sql-stacked"`` (the
+        stacked ``WITH``-chain on SQLite).
+        """
+        return self._dispatch(self.compile(source), configuration, timeout_seconds, bindings)
 
     def explain(
         self, source: str, bindings: Optional[Mapping[str, object]] = None
@@ -405,6 +472,31 @@ class XQueryProcessor:
             return self._run_join_graph(compilation, timeout_seconds, bindings)
         return self._run_stacked(compilation, timeout_seconds, bindings)
 
+    def _dispatch(
+        self,
+        compilation: CompilationResult,
+        configuration: str,
+        timeout_seconds: Optional[float],
+        bindings: Optional[Mapping[str, object]],
+    ) -> ExecutionOutcome:
+        """Route a compiled query to one execution configuration."""
+        runners = {
+            "auto": self._run_auto,
+            "stacked": self._run_stacked,
+            "isolated": self._run_isolated,
+            "join-graph": self._run_join_graph,
+            "sql": self._run_sql,
+            "sql-stacked": self._run_sql_stacked,
+        }
+        try:
+            runner = runners[configuration if configuration is not None else "auto"]
+        except KeyError:
+            expected = ", ".join(runners)
+            raise ValueError(
+                f"unknown configuration {configuration!r} (expected one of: {expected})"
+            ) from None
+        return runner(compilation, timeout_seconds, bindings)
+
     def _explain(
         self,
         compilation: CompilationResult,
@@ -440,24 +532,87 @@ class XQueryProcessor:
             details=result,
         )
 
+    def _sql_backend_sql(self, compilation: CompilationResult) -> str:
+        """The join-graph SQL the RDBMS backend executes (rendered once).
+
+        Same block as ``compilation.join_graph_sql`` (Fig. 8/9), but the
+        FROM clause spells out a CROSS JOIN order: SQLite honours that
+        syntax as a join-order constraint, and the n-fold self-joins here
+        routinely defeat its own reorder search (a cold 10-way self-join
+        can run 100x slower than the same block with the order pinned).
+        The order comes from the in-tree cost-based planner when the graph
+        is value-complete; parameterized graphs fall back to the static
+        root-to-result (document descent) order so the text can be rendered
+        once and re-bound forever.
+        """
+        if compilation.join_graph is None:
+            raise JoinGraphError(
+                compilation.join_graph_error or "the query has no isolated join graph"
+            )
+        # The memo is keyed on the database the order was planned against:
+        # a CompilationResult lives in a PlanCache shared across processor
+        # rebuilds (catalog growth), and CROSS JOIN is a hard ordering
+        # constraint — re-plan against fresh statistics rather than pin an
+        # order chosen for a different catalog.
+        stats_key = (id(self.database), len(self.encoding))
+        if compilation.sql_backend_sql is None or compilation.sql_backend_sql[0] != stats_key:
+            graph = compilation.join_graph
+            join_order = list(reversed(graph.aliases))
+            if not graph.parameters():
+                try:
+                    join_order = self.engine.plan(graph).join_order
+                except PlanningError:
+                    pass  # keep the static descent order
+            compilation.sql_backend_sql = (
+                stats_key,
+                render_join_graph(graph, join_order=join_order),
+            )
+        return compilation.sql_backend_sql[1]
+
+    def _run_sql(
+        self,
+        compilation: CompilationResult,
+        timeout_seconds: Optional[float],
+        bindings: Optional[Mapping[str, object]],
+    ) -> ExecutionOutcome:
+        """Isolated join graph on the RDBMS: the paper's production story."""
+        sql = self._sql_backend_sql(compilation)
+        values = check_bindings(compilation.external_variables, bindings)
+        result: SQLResult = self.sql_backend.execute(
+            sql, bindings=values or None, timeout_seconds=timeout_seconds
+        )
+        return ExecutionOutcome(
+            items=ordered_items(result.columns, result.rows),
+            configuration="sql",
+            details=result,
+        )
+
+    def _run_sql_stacked(
+        self,
+        compilation: CompilationResult,
+        timeout_seconds: Optional[float],
+        bindings: Optional[Mapping[str, object]],
+    ) -> ExecutionOutcome:
+        """Stacked WITH-chain on the RDBMS: what Pathfinder ships unrewritten."""
+        values = check_bindings(compilation.external_variables, bindings)
+        result: SQLResult = self.sql_backend.execute(
+            compilation.stacked_sql,
+            bindings=values or None,
+            timeout_seconds=timeout_seconds,
+        )
+        return ExecutionOutcome(
+            items=sequence_items(result.columns, result.rows),
+            configuration="sql-stacked",
+            details=result,
+        )
+
     # -- helpers -----------------------------------------------------------------------
 
     @staticmethod
     def _items_from_table(table: Table) -> list[int]:
-        item_index = table.column_index("item")
-        pos_index = table.column_index("pos") if "pos" in table.columns else None
-        rows = table.rows
-        if pos_index is not None:
-            rows = sorted(rows, key=lambda row: (_sortable(row[pos_index]), _sortable(row[item_index])))
-        seen: set[object] = set()
-        items: list[int] = []
-        for row in rows:
-            value = row[item_index]
-            if value in seen:
-                continue
-            seen.add(value)
-            items.append(value)  # type: ignore[arg-type]
-        return items
+        # One shared decode step (see repro.sqlbackend.decode): the algebra
+        # interpreters and the SQL backend reassemble sequences identically.
+        return sequence_items(table.columns, table.rows)
 
 
 @dataclass
@@ -499,30 +654,14 @@ class PreparedQuery:
 
         ``"auto"`` uses the join graph when one was isolated (falling back
         to the stacked plan), mirroring ``XQueryProcessor.execute``;
-        ``"stacked"``, ``"isolated"`` and ``"join-graph"`` force one
-        configuration.
+        ``"stacked"``, ``"isolated"``, ``"join-graph"``, ``"sql"`` and
+        ``"sql-stacked"`` force one configuration.  On the SQL path the
+        bindings flow into SQLite's native ``:name`` parameters — the SQL
+        text itself is rendered once per compilation, never per run.
         """
         processor = self.processor_supplier()
-        if engine == "auto":
-            return processor._run_auto(self.compilation, timeout_seconds, bindings)
-        if engine == "stacked":
-            return processor._run_stacked(self.compilation, timeout_seconds, bindings)
-        if engine == "isolated":
-            return processor._run_isolated(self.compilation, timeout_seconds, bindings)
-        if engine == "join-graph":
-            return processor._run_join_graph(self.compilation, timeout_seconds, bindings)
-        raise ValueError(
-            f"unknown engine {engine!r} (expected auto, stacked, isolated or join-graph)"
-        )
+        return processor._dispatch(self.compilation, engine, timeout_seconds, bindings)
 
     def explain(self, bindings: Optional[Mapping[str, object]] = None) -> str:
         """Explain the relational plan the bindings would be executed with."""
         return self.processor_supplier()._explain(self.compilation, bindings)
-
-
-def _sortable(value: object) -> tuple:
-    if value is None:
-        return (0, 0)
-    if isinstance(value, (int, float)) and not isinstance(value, bool):
-        return (1, value)
-    return (2, str(value))

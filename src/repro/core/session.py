@@ -45,6 +45,7 @@ from repro.core.pipeline import (
 )
 from repro.core.rewriter import JoinGraphIsolation
 from repro.purexml.engine import PureXMLEngine
+from repro.sqlbackend.backend import SQLiteBackend
 from repro.purexml.storage import XMLColumnStore
 from repro.xmldb.encoding import DocumentEncoding
 from repro.xmldb.infoset import NodeKind, XMLNode
@@ -134,12 +135,21 @@ class Session:
         with_default_indexes: bool = True,
         add_serialization_step: bool = False,
         plan_cache_size: int = 128,
+        sql_backend: Optional[SQLiteBackend] = None,
     ):
         self.store = store or DocumentStore()
         self.default_document = default_document
         self.with_default_indexes = with_default_indexes
         self.add_serialization_step = add_serialization_step
         self.plan_cache = PlanCache(plan_cache_size)
+        #: The session-owned SQLite mirror of the catalog.  Handed to every
+        #: processor rebuild, so registration only ever *appends* to it
+        #: (incremental sync) and ``configuration="sql"`` keeps its loaded
+        #: database and statistics across catalog growth — exactly like the
+        #: plan cache keeps compiled plans.  Pass a file-backed
+        #: :class:`~repro.sqlbackend.backend.SQLiteBackend` to persist the
+        #: mirror on disk.
+        self.sql_backend = sql_backend or SQLiteBackend()
         self._processor: Optional[XQueryProcessor] = None
         self._processor_version = -1
 
@@ -171,6 +181,7 @@ class Session:
             with_default_indexes=self.with_default_indexes,
             add_serialization_step=self.add_serialization_step,
             plan_cache=self.plan_cache,
+            sql_backend=self.sql_backend,
         )
         self._processor_version = self.store.version
         return self._processor
@@ -194,11 +205,28 @@ class Session:
         source: str,
         bindings: Optional[Mapping[str, object]] = None,
         timeout_seconds: Optional[float] = None,
+        configuration: str = "auto",
     ) -> ExecutionOutcome:
-        """Execute ad-hoc with the best available strategy (join graph, else stacked)."""
+        """Execute ad-hoc; ``configuration`` picks the engine (default auto).
+
+        ``"sql"`` routes through the session's SQLite mirror (the catalog
+        is synced incrementally before execution).
+        """
         return self.processor.execute(
-            source, timeout_seconds=timeout_seconds, bindings=bindings
+            source,
+            timeout_seconds=timeout_seconds,
+            bindings=bindings,
+            configuration=configuration,
         )
+
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters of the session's shared plan cache.
+
+        The counters span processor rebuilds (the cache is session-owned),
+        so benchmarks and tests can assert that document registration does
+        not invalidate compiled plans — for any backend configuration.
+        """
+        return self.plan_cache.stats()
 
     def explain(
         self, source: str, bindings: Optional[Mapping[str, object]] = None

@@ -18,6 +18,8 @@ Two renderings are provided:
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 from repro.algebra.dag import iter_nodes
 from repro.algebra.operators import (
     Attach,
@@ -35,16 +37,40 @@ from repro.algebra.operators import (
 )
 from repro.algebra.predicates import ColumnRef, Literal, Parameter, Predicate, Sum
 from repro.core.joingraph import JoinGraph, extract_join_graph
+from repro.errors import JoinGraphError
 
 
-def render_join_graph(graph: JoinGraph) -> str:
-    """Render a :class:`JoinGraph` as a single SFW block."""
+def render_join_graph(graph: JoinGraph, join_order: Optional[Sequence[str]] = None) -> str:
+    """Render a :class:`JoinGraph` as a single SFW block.
+
+    With ``join_order`` (a permutation of ``graph.aliases``) the FROM clause
+    lists the aliases in that order connected by ``CROSS JOIN`` instead of
+    commas.  Semantically identical, but engines such as SQLite treat the
+    explicit ``CROSS JOIN`` syntax as a join-order constraint, which lets a
+    caller hand the access-path order chosen by a cost-based planner to a
+    back-end whose own search would not find it (the n-fold self-joins of
+    Fig. 8/9 routinely exceed SQLite's join-reorder search horizon).
+    """
     distinct = "DISTINCT " if graph.distinct else ""
     select_list = ",\n       ".join(
         f"{term.render()} AS {name}" for term, name in graph.select_items
     )
-    from_list = ",\n     ".join(f"{graph.table_name} AS {alias}" for alias in graph.aliases)
-    lines = [f"SELECT {distinct}{select_list}", f"FROM {from_list}"]
+    lines = [f"SELECT {distinct}{select_list}"]
+    if join_order is not None:
+        if sorted(join_order) != sorted(graph.aliases):
+            raise JoinGraphError(
+                f"join_order {list(join_order)} is not a permutation of the "
+                f"graph's aliases {graph.aliases}"
+            )
+        from_list = "\n     CROSS JOIN ".join(
+            f"{graph.table_name} AS {alias}" for alias in join_order
+        )
+    else:
+        from_list = ",\n     ".join(
+            f"{graph.table_name} AS {alias}" for alias in graph.aliases
+        )
+    if graph.aliases:
+        lines.append(f"FROM {from_list}")
     if graph.conditions:
         where = "\n  AND ".join(condition.render() for condition in graph.conditions)
         lines.append(f"WHERE {where}")
@@ -70,9 +96,7 @@ def _render_predicate_sql(predicate: Predicate, resolve) -> str:
         if isinstance(t, ColumnRef):
             return resolve(t.name)
         if isinstance(t, Literal):
-            if isinstance(t.value, str):
-                return "'" + t.value.replace("'", "''") + "'"
-            return str(t.value)
+            return _sql_literal(t.value)
         if isinstance(t, Sum):
             return " + ".join(term(part) for part in t.terms)
         if isinstance(t, Parameter):
@@ -128,8 +152,14 @@ def _render_operator(node: Operator, name_of, table_name: str) -> str:
     if isinstance(node, Attach):
         return f"SELECT *, {_sql_literal(node.value)} AS {node.column} FROM {name_of(node.child)}"
     if isinstance(node, RowId):
+        # ROW_NUMBER() OVER () leaves the numbering to the engine's arbitrary
+        # row order; ordering over the operator's input columns keeps stacked
+        # SQL deterministic on a real RDBMS (# only promises *unique* ids, so
+        # any fixed total order is a valid refinement).
+        order = ", ".join(node.child.columns)
         return (
-            f"SELECT *, ROW_NUMBER() OVER () AS {node.column} FROM {name_of(node.child)}"
+            f"SELECT *, ROW_NUMBER() OVER (ORDER BY {order}) AS {node.column} "
+            f"FROM {name_of(node.child)}"
         )
     if isinstance(node, RowRank):
         order = ", ".join(node.order_by)
@@ -148,6 +178,16 @@ def _render_operator(node: Operator, name_of, table_name: str) -> str:
 
 
 def _sql_literal(value: object) -> str:
+    """Render a Python value as a SQL literal.
+
+    Booleans must come out as ``1``/``0`` (``True``/``False`` is not SQL) and
+    ``None`` as ``NULL``; the bool test precedes everything else because
+    ``bool`` is a subclass of ``int``.
+    """
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
     if isinstance(value, str):
         return "'" + value.replace("'", "''") + "'"
     return str(value)

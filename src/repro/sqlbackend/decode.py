@@ -1,0 +1,69 @@
+"""Result reassembly: SQL result rows → pre-rank item sequences.
+
+Both SQL renderings deliver tables whose ``item`` column carries ``pre``
+ranks (ready for :mod:`repro.xmldb.serializer`); what differs is how much
+of the sequence semantics the SQL already enforced:
+
+* the isolated join-graph SFW block (Fig. 8/9) ships ``DISTINCT`` and
+  ``ORDER BY`` to the RDBMS — :func:`ordered_items` just projects the
+  ``item`` column in row order, mirroring what the in-tree relational
+  engine's SORT/RETURN tail produces;
+* the stacked ``WITH``-chain (and the algebra interpreter evaluating the
+  same plan) returns raw iteration tables with ``iter``/``pos``/``item``
+  bookkeeping — :func:`sequence_items` re-derives the XQuery sequence:
+  order by (``pos``, ``item``), then drop duplicate items keeping the
+  first occurrence.
+
+:func:`sequence_items` is *the* definition of that decode step —
+``XQueryProcessor`` delegates to it for every interpreted configuration,
+so the SQL backend and the interpreters cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _sortable(value: object) -> tuple:
+    """A total order over the mixed NULL/number/string values SQL returns."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (1, value)
+    return (2, str(value))
+
+
+def sequence_items(columns: Sequence[str], rows: Sequence[Sequence[object]]) -> list:
+    """Decode a raw result table into the pre-rank item sequence.
+
+    Rows are ordered by (``pos``, ``item``) when a ``pos`` column is
+    present (the compiler's sequence-position bookkeeping), then duplicate
+    ``item`` values are dropped keeping first occurrences.
+    """
+    item_index = list(columns).index("item")
+    pos_index = list(columns).index("pos") if "pos" in columns else None
+    if pos_index is not None:
+        rows = sorted(
+            rows,
+            key=lambda row: (_sortable(row[pos_index]), _sortable(row[item_index])),
+        )
+    seen: set[object] = set()
+    items: list = []
+    for row in rows:
+        value = row[item_index]
+        if value in seen:
+            continue
+        seen.add(value)
+        items.append(value)
+    return items
+
+
+def ordered_items(columns: Sequence[str], rows: Sequence[Sequence[object]]) -> list:
+    """Project the ``item`` column of an already ordered/distinct result.
+
+    The join-graph SFW block made the RDBMS enforce ``DISTINCT`` (over the
+    full select list) and ``ORDER BY``; the decode step is a projection,
+    exactly like the relational engine's RETURN operator.
+    """
+    item_index = list(columns).index("item")
+    return [row[item_index] for row in rows]

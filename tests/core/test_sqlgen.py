@@ -1,0 +1,123 @@
+"""SQL emission fixes: literal rendering, deterministic row ids, join order.
+
+Covers the satellite repairs that make the emitted SQL *executable* on a
+real RDBMS: Python ``True``/``False``/``None`` leaking into SQL text, the
+nondeterministic ``ROW_NUMBER() OVER ()``, and the CROSS JOIN order hint
+of ``render_join_graph``.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import JoinGraphError
+from repro.algebra.operators import Attach, LiteralTable, RowId, Select, Serialize
+from repro.algebra.predicates import Comparison, Predicate, column, const
+from repro.core.joingraph import ConstantTerm, extract_join_graph
+from repro.core.rewriter import isolate
+from repro.core.sqlgen import _sql_literal, generate_stacked_sql, render_join_graph
+from repro.sqlbackend import SQLiteBackend
+from repro.xquery.compiler import compile_query
+
+
+# -- _sql_literal -------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "value, rendered",
+    [
+        (True, "1"),
+        (False, "0"),
+        (None, "NULL"),
+        (42, "42"),
+        (1.5, "1.5"),
+        ("plain", "'plain'"),
+        ("O'Hara", "'O''Hara'"),
+    ],
+)
+def test_sql_literal_renders_valid_sql(value, rendered):
+    assert _sql_literal(value) == rendered
+
+
+@pytest.mark.parametrize(
+    "value, rendered",
+    [(True, "1"), (False, "0"), (None, "NULL"), ("O'Hara", "'O''Hara'"), (7, "7")],
+)
+def test_constant_term_renders_valid_sql(value, rendered):
+    assert ConstantTerm(value).render() == rendered
+
+
+def test_attached_boolean_and_null_render_as_sql(tmp_path):
+    plan = Attach(Attach(LiteralTable(("iter",), [(1,)]), "flag", True), "gap", None)
+    sql = generate_stacked_sql(plan)
+    assert "True" not in sql and "None" not in sql
+    # The rendered text must actually execute on a stock RDBMS.
+    rows = sqlite3.connect(":memory:").execute(sql).fetchall()
+    assert rows == [(1, 1, None)]
+
+
+def test_predicate_literals_render_as_sql():
+    plan = Select(
+        LiteralTable(("iter", "flag"), [(1, 1), (2, 0)]),
+        Predicate.of(Comparison(column("flag"), "=", const(True))),
+    )
+    sql = generate_stacked_sql(plan)
+    assert "= 1" in sql and "True" not in sql
+    assert sqlite3.connect(":memory:").execute(sql).fetchall() == [(1, 1)]
+
+
+# -- deterministic ROW_NUMBER ------------------------------------------------------
+
+
+def test_rowid_rendering_orders_over_input_columns():
+    plan = RowId(LiteralTable(("v",), [(3,), (1,), (2,)]), "rid")
+    sql = generate_stacked_sql(plan)
+    assert "ROW_NUMBER() OVER ()" not in sql
+    assert "ROW_NUMBER() OVER (ORDER BY v)" in sql
+    rows = sqlite3.connect(":memory:").execute(sql).fetchall()
+    assert sorted(rows) == [(1, 1), (2, 2), (3, 3)]  # ids follow the v order
+
+
+def test_stacked_sql_has_no_unordered_window():
+    stacked = compile_query(
+        'for $a in doc("auction.xml")/descendant::open_auction return $a/child::initial'
+    )
+    sql = generate_stacked_sql(stacked)
+    assert "OVER ()" not in sql
+
+
+# -- join order hints ---------------------------------------------------------------
+
+
+def _graph(query='doc("auction.xml")/descendant::open_auction[bidder]'):
+    plan, _report = isolate(compile_query(query))
+    return extract_join_graph(plan)
+
+
+def test_render_join_graph_with_explicit_join_order():
+    graph = _graph()
+    hinted = render_join_graph(graph, join_order=list(reversed(graph.aliases)))
+    assert "CROSS JOIN" in hinted
+    # Same SELECT/WHERE content, different FROM shape.
+    default = render_join_graph(graph)
+    assert hinted.splitlines()[0] == default.splitlines()[0]
+    assert default.count("doc AS") == hinted.count("doc AS")
+
+
+def test_render_join_graph_rejects_non_permutations():
+    graph = _graph()
+    with pytest.raises(JoinGraphError):
+        render_join_graph(graph, join_order=graph.aliases[:-1])
+    with pytest.raises(JoinGraphError):
+        render_join_graph(graph, join_order=graph.aliases + ["d99"])
+
+
+def test_join_order_variants_agree_on_sqlite(small_auction_encoding):
+    backend = SQLiteBackend.from_encoding(small_auction_encoding)
+    graph = _graph()
+    default = backend.execute(render_join_graph(graph)).rows
+    hinted = backend.execute(
+        render_join_graph(graph, join_order=list(reversed(graph.aliases)))
+    ).rows
+    assert default == hinted
+    assert default  # the small document has qualifying auctions

@@ -1,0 +1,182 @@
+"""Unit tests for the SQLite backend: schema, loading, execution, budgets."""
+
+import gc
+
+import pytest
+
+from repro.errors import CatalogError, QueryTimeoutError
+from repro.sqlbackend import ACCESS_PATH_INDEXES, SQLiteBackend
+from repro.sqlbackend.decode import ordered_items, sequence_items
+from repro.xmldb.encoding import encode_document
+from repro.xmldb.parser import parse_xml
+
+
+def _encoding(xml="<a><b>1</b><b>2</b></a>", uri="t.xml"):
+    return encode_document(parse_xml(xml, uri=uri))
+
+
+# -- schema bootstrap ---------------------------------------------------------------
+
+
+def test_bootstrap_creates_doc_table_and_indexes():
+    backend = SQLiteBackend()
+    names = backend.indexes()
+    for suffix, _keys in ACCESS_PATH_INDEXES:
+        assert f"doc_idx_{suffix}" in names
+    assert backend.row_count() == 0
+    assert backend.loaded_rows == 0
+
+
+def test_bootstrap_without_indexes():
+    backend = SQLiteBackend(with_indexes=False)
+    assert backend.indexes() == []
+
+
+def test_pre_is_the_clustered_rowid():
+    backend = SQLiteBackend.from_encoding(_encoding())
+    rows = backend.execute("SELECT rowid, pre FROM doc ORDER BY pre").rows
+    assert all(rowid == pre for rowid, pre in rows)
+
+
+# -- loading ------------------------------------------------------------------------
+
+
+def test_sync_mirrors_all_rows():
+    encoding = _encoding()
+    backend = SQLiteBackend()
+    assert backend.sync(encoding) == len(encoding)
+    assert backend.row_count() == len(encoding)
+    mirrored = backend.execute("SELECT * FROM doc ORDER BY pre").rows
+    assert mirrored == encoding.rows()
+
+
+def test_sync_is_incremental_and_idempotent():
+    encoding = _encoding()
+    backend = SQLiteBackend()
+    first = backend.sync(encoding)
+    assert backend.sync(encoding) == 0  # no new rows -> no-op
+    encoding.append_document(parse_xml("<c><d/></c>", uri="u.xml"))
+    second = backend.sync(encoding)
+    assert first + second == len(encoding) == backend.row_count()
+    # pre stays a key across documents
+    pres = [row[0] for row in backend.execute("SELECT pre FROM doc ORDER BY pre").rows]
+    assert pres == list(range(len(encoding)))
+
+
+def test_sync_rejects_a_different_encoding():
+    backend = SQLiteBackend.from_encoding(_encoding())
+    with pytest.raises(CatalogError):
+        backend.sync(_encoding("<x/>", uri="other.xml"))
+
+
+def test_sync_rejects_replacement_after_source_is_gone():
+    backend = SQLiteBackend()
+    encoding = _encoding()
+    backend.sync(encoding)
+    del encoding
+    gc.collect()
+    with pytest.raises(CatalogError):
+        backend.sync(_encoding("<x/>", uri="other.xml"))
+
+
+def test_file_backed_database_reopens(tmp_path):
+    path = tmp_path / "mirror.db"
+    encoding = _encoding()
+    SQLiteBackend.from_encoding(encoding, path=path).close()
+    reopened = SQLiteBackend(path=path)
+    assert reopened.loaded_rows == len(encoding)
+    assert reopened.sync(encoding) == 0  # already mirrored, nothing to load
+
+
+def test_reopened_mirror_rejects_a_diverging_catalog(tmp_path):
+    path = tmp_path / "mirror.db"
+    SQLiteBackend.from_encoding(_encoding(), path=path).close()
+    reopened = SQLiteBackend(path=path)
+    # Same row count, different content: adopting it would silently serve
+    # the old catalog's rows — the prefix check must refuse.
+    other = _encoding("<a><b>1</b><c>2</c></a>", uri="t.xml")
+    assert len(other) == reopened.loaded_rows
+    with pytest.raises(CatalogError):
+        reopened.sync(other)
+
+
+def test_reopened_mirror_extends_a_matching_catalog(tmp_path):
+    path = tmp_path / "mirror.db"
+    encoding = _encoding()
+    SQLiteBackend.from_encoding(encoding, path=path).close()
+    encoding.append_document(parse_xml("<c><d/></c>", uri="u.xml"))
+    reopened = SQLiteBackend(path=path)
+    assert reopened.sync(encoding) == 3  # verified prefix, loaded only the tail (DOC+c+d)
+    assert reopened.row_count() == len(encoding)
+
+
+# -- execution ----------------------------------------------------------------------
+
+
+def test_named_parameter_binding():
+    backend = SQLiteBackend.from_encoding(_encoding())
+    result = backend.execute(
+        "SELECT pre FROM doc WHERE name = :tag ORDER BY pre", {"tag": "b"}
+    )
+    assert result.rows == [(2,), (4,)]
+    assert result.columns == ("pre",)
+    assert result.bindings == {"tag": "b"}
+
+
+def test_name_lookup_uses_an_access_path_index():
+    backend = SQLiteBackend.from_encoding(_encoding())
+    plan = backend.query_plan(
+        "SELECT pre FROM doc WHERE name = 'b' AND kind = 'ELEM' AND level = 1"
+    )
+    assert any("USING" in line and "INDEX" in line.upper() for line in plan), plan
+
+
+def test_ancestor_range_can_use_the_expression_index():
+    backend = SQLiteBackend.from_encoding(_encoding())
+    # INDEXED BY makes SQLite error out ("no query solution") unless the
+    # expression index actually matches the `pre + size` ancestor bound.
+    plan = backend.query_plan(
+        "SELECT pre FROM doc INDEXED BY doc_idx_nksp "
+        "WHERE name = 'a' AND kind = 'ELEM' AND pre + size >= 4"
+    )
+    assert any("doc_idx_nksp" in line for line in plan), plan
+
+
+def test_timeout_budget_aborts_execution():
+    backend = SQLiteBackend()
+    runaway = (
+        "WITH RECURSIVE r(i) AS (SELECT 1 UNION ALL SELECT i + 1 FROM r) "
+        "SELECT COUNT(*) FROM r"
+    )
+    with pytest.raises(QueryTimeoutError):
+        backend.execute(runaway, timeout_seconds=0.05)
+    # The budget machinery is disarmed afterwards: normal queries still run.
+    assert backend.execute("SELECT 1").rows == [(1,)]
+
+
+def test_context_manager_closes_connection():
+    with SQLiteBackend() as backend:
+        assert backend.execute("SELECT 1").rows == [(1,)]
+    import sqlite3
+
+    with pytest.raises(sqlite3.ProgrammingError):
+        backend.execute("SELECT 1")
+
+
+# -- decode -------------------------------------------------------------------------
+
+
+def test_sequence_items_orders_by_pos_and_dedupes():
+    columns = ("iter", "item", "pos")
+    rows = [(1, 9, 2), (1, 4, 1), (1, 9, 3), (1, 4, 1)]
+    assert sequence_items(columns, rows) == [4, 9]
+
+
+def test_sequence_items_without_pos_keeps_row_order():
+    assert sequence_items(("item",), [(7,), (3,), (7,)]) == [7, 3]
+
+
+def test_ordered_items_projects_in_row_order():
+    columns = ("item", "item1")
+    rows = [(5, 1), (2, 2), (5, 3)]
+    assert ordered_items(columns, rows) == [5, 2, 5]
