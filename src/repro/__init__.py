@@ -39,6 +39,11 @@ The package is organised as follows:
     renderings (isolated SFW block vs stacked WITH-chain) with named
     parameter binding — ``configuration="sql"`` end to end.
 
+``repro.service``
+    The concurrent serving layer: ``QueryService`` runs queries from many
+    threads over one shared ``Session`` — worker pool, admission control,
+    per-query budgets, batched ``execute_many``, per-engine metrics.
+
 ``repro.bench``
     Workloads (Q1-Q6), dataset builders, and reporting helpers used by the
     benchmark harness under ``benchmarks/``.
@@ -51,6 +56,7 @@ from repro.core.pipeline import (
     XQueryProcessor,
 )
 from repro.core.session import DocumentStore, Session
+from repro.service import QueryRequest, QueryService
 from repro.sqlbackend.backend import SQLiteBackend
 
 __all__ = [
@@ -58,10 +64,12 @@ __all__ = [
     "CompilationResult",
     "PlanCache",
     "PreparedQuery",
+    "QueryRequest",
+    "QueryService",
     "Session",
     "DocumentStore",
     "SQLiteBackend",
     "__version__",
 ]
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"

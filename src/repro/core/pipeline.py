@@ -20,6 +20,13 @@ of the paper's evaluation:
 Both executions return the result node sequence as ``pre`` ranks, which can
 be serialized back to XML text via :mod:`repro.xmldb.serializer`.
 
+The flow itself lives in :mod:`repro.core.stages` as explicit, immutable
+stage objects: the processor assembles a :class:`CompilationPipeline` and a
+frozen :class:`~repro.core.stages.ExecutionContext` at construction time and
+is itself effectively immutable afterwards — its only mutable members (the
+:class:`PlanCache` and the source-text memo) are lock-protected, so one
+processor can serve many threads (see :mod:`repro.service`).
+
 Compilation is amortized through a keyed :class:`PlanCache`, and queries
 that declare ``declare variable $x external;`` compile once into
 parameter-carrying plans that re-execute with fresh ``bindings`` via
@@ -45,88 +52,41 @@ Example:
 from __future__ import annotations
 
 import dataclasses
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Mapping, Optional
 
-from repro.errors import JoinGraphError, PlanningError
-from repro.algebra.interpreter import PlanInterpreter
-from repro.algebra.operators import Serialize
+from repro.core.rewriter import JoinGraphIsolation
+from repro.core.stages import (
+    CompilationPipeline,
+    CompilationResult,
+    ExecutionContext,
+    ExecutionOutcome,
+    StageTimings,
+    execute_compiled,
+    explain_compiled,
+    run_isolated,
+    run_join_graph,
+    run_sql,
+    run_sql_stacked,
+    run_stacked,
+    sql_backend_sql,
+)
 from repro.algebra.table import Table
-from repro.core.joingraph import JoinGraph, extract_join_graph
-from repro.core.rewriter import IsolationReport, JoinGraphIsolation
-from repro.core.sqlgen import generate_stacked_sql, render_join_graph
 from repro.relational.catalog import Database, database_from_encoding
-from repro.relational.engine import QueryResult, RelationalEngine
-from repro.sqlbackend.backend import SQLiteBackend, SQLResult
-from repro.sqlbackend.decode import ordered_items, sequence_items
+from repro.relational.engine import RelationalEngine
+from repro.sqlbackend.backend import SQLiteBackend
 from repro.xmldb.encoding import DOC_COLUMNS, DocumentEncoding
-from repro.xquery.ast import Expression, ExternalVariable, check_bindings, render
-from repro.xquery.compiler import CompilerSettings, LoopLiftingCompiler
-from repro.xquery.normalize import normalize
-from repro.xquery.parser import parse_module
+from repro.xquery.compiler import CompilerSettings
 
-
-@dataclass
-class CompilationResult:
-    """Everything the compiler + isolation produce for one query.
-
-    ``source`` (and ``surface_ast``) record the text the entry was first
-    compiled from; on a :class:`PlanCache` hit from a formatting variant
-    (the cache keys on the *normalized core AST*), they reflect that first
-    variant, not the text of the current call.
-    """
-
-    source: str
-    surface_ast: Expression
-    core_ast: Expression
-    stacked_plan: Serialize
-    isolated_plan: Serialize
-    isolation_report: IsolationReport
-    join_graph: Optional[JoinGraph]
-    join_graph_sql: Optional[str]
-    stacked_sql: str
-    join_graph_error: Optional[str] = None
-    #: External variables the query declares; their values arrive as
-    #: ``bindings`` at execution time (empty for ad-hoc queries).
-    external_variables: tuple[ExternalVariable, ...] = ()
-    #: Lazily rendered join-graph SQL for the RDBMS backend: the Fig. 8/9
-    #: block with an explicit CROSS JOIN order (see
-    #: ``XQueryProcessor._sql_backend_sql``).  Memoized as ``(stats key,
-    #: sql)`` so prepared queries re-execute without re-rendering any SQL,
-    #: while catalog growth (a processor rebuild with fresh statistics)
-    #: invalidates the pinned join order instead of freezing a stale one.
-    sql_backend_sql: Optional[tuple[tuple, str]] = field(default=None, repr=False)
-
-    def core_text(self) -> str:
-        """The normalized XQuery Core rendering (cf. Section II-D)."""
-        return render(self.core_ast)
-
-    @property
-    def parameter_names(self) -> tuple[str, ...]:
-        """Names of the declared external variables, in declaration order."""
-        return tuple(declaration.name for declaration in self.external_variables)
-
-
-@dataclass
-class ExecutionOutcome:
-    """Result of executing one query in one configuration.
-
-    ``rows_scanned`` counts rows the engine materialised/scanned — for the
-    interpreted configurations only.  The ``sql``/``sql-stacked`` paths
-    report 0: the stdlib SQLite driver exposes no scan counters, and a
-    wrong-but-plausible number would be worse than none (result cardinality
-    lives in ``details.row_count`` / :attr:`node_count`).
-    """
-
-    items: list[int]
-    configuration: str
-    rows_scanned: int = 0
-    details: object = None
-
-    @property
-    def node_count(self) -> int:
-        return len(self.items)
+__all__ = [
+    "CompilationResult",
+    "ExecutionOutcome",
+    "PlanCache",
+    "PreparedQuery",
+    "XQueryProcessor",
+]
 
 
 class PlanCache:
@@ -151,6 +111,12 @@ class PlanCache:
       reference the ``doc`` table and document URIs, so a cache may outlive
       re-registration of documents (the :class:`~repro.core.session.Session`
       facade relies on this).
+
+    **Thread safety.** Every operation (lookups, inserts, :meth:`clear`,
+    :meth:`stats`) holds one internal lock, so concurrent workers see
+    consistent LRU order and counters.  :meth:`clear` resets the counters
+    together with the entries — ``stats()`` never mixes the hit/miss
+    history of one cache generation with the size of another.
     """
 
     def __init__(self, maxsize: int = 128):
@@ -158,47 +124,64 @@ class PlanCache:
             raise ValueError("PlanCache needs a maxsize of at least 1")
         self.maxsize = maxsize
         self._entries: "OrderedDict[Hashable, CompilationResult]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable) -> Optional[CompilationResult]:
         """Look up ``key``; a hit refreshes the entry's recency."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: Hashable, value: CompilationResult) -> None:
         """Insert ``key``, evicting the least recently used entry if full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        """Drop every entry *and* reset the counters.
+
+        The seed dropped entries but kept ``hits``/``misses``/``evictions``,
+        leaving ``stats()`` incoherent (non-zero traffic counters against a
+        size that no request ever produced); a cleared cache now reports
+        like a fresh one.
+        """
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def stats(self) -> dict[str, int]:
-        """Counters for tests and monitoring."""
-        return {
-            "size": len(self._entries),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        """Counters for tests and monitoring (one consistent snapshot)."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 def _isolation_key(isolation: Optional[JoinGraphIsolation]) -> tuple:
@@ -215,10 +198,17 @@ class XQueryProcessor:
 
     The processor owns the execution configurations of the paper's
     Table IX experiment — stacked plan, isolated plan, the interpreted SQL
-    join graph, and the join graph on a *real* RDBMS (SQLite, lazily
-    attached via :attr:`sql_backend`) — plus the :class:`PlanCache` that
-    amortizes compilation, and it is the factory for :class:`PreparedQuery`
-    handles (:meth:`prepare`).
+    join graph, and the join graph on a *real* RDBMS (SQLite, reachable via
+    :attr:`sql_backend`) — plus the :class:`PlanCache` that amortizes
+    compilation, and it is the factory for :class:`PreparedQuery` handles
+    (:meth:`prepare`).
+
+    After construction the processor is **effectively immutable**: the
+    catalog snapshot lives in a frozen
+    :class:`~repro.core.stages.ExecutionContext` (:attr:`context`) and every
+    execution routes through the pure executors of :mod:`repro.core.stages`,
+    so any number of threads may compile and execute through one processor
+    concurrently.
     """
 
     def __init__(
@@ -242,6 +232,10 @@ class XQueryProcessor:
             encoding, with_default_indexes=with_default_indexes
         )
         self.engine = RelationalEngine(self.database)
+        self.settings = CompilerSettings(
+            add_serialization_step=self.add_serialization_step,
+            default_document=self.default_document,
+        )
         #: Keyed LRU of compilation results (see :class:`PlanCache` for the
         #: key contract).  May be shared between processors serving the same
         #: logical catalog (e.g. across Session refreshes).
@@ -250,11 +244,36 @@ class XQueryProcessor:
         #: Source-text -> plan-cache-key memo: repeated ad-hoc execution of
         #: the *same* text skips parse+normalize (the key computation) and
         #: answers from the LRU in two dict lookups.  Bounded alongside the
-        #: plan cache; per-processor (compiler settings are fixed here).
+        #: plan cache; per-processor (compiler settings are fixed here);
+        #: guarded by :attr:`_memo_lock`.
         self._key_by_source: "OrderedDict[tuple[str, tuple], Hashable]" = OrderedDict()
-        #: The RDBMS behind ``configuration="sql"``; created lazily unless a
-        #: shared backend (e.g. Session-owned) was injected.
+        self._memo_lock = threading.Lock()
+        #: The RDBMS behind ``configuration="sql"``; created lazily (first
+        #: ``sql``/``sql-stacked`` use) unless a shared backend (e.g.
+        #: Session-owned) was injected.
         self._sql_backend = sql_backend
+        self._backend_lock = threading.Lock()
+        #: The frozen snapshot the pure executors of
+        #: :mod:`repro.core.stages` run against; workers may hold onto it.
+        self.context = ExecutionContext(
+            encoding=encoding,
+            doc_table=self.doc_table,
+            database=self.database,
+            engine=self.engine,
+            settings=self.settings,
+            default_document=self.default_document,
+            sql_backend_supplier=self._get_sql_backend,
+        )
+
+    def _get_sql_backend(self) -> SQLiteBackend:
+        """The backend instance, created on first use (double-checked)."""
+        backend = self._sql_backend
+        if backend is None:
+            with self._backend_lock:
+                if self._sql_backend is None:
+                    self._sql_backend = SQLiteBackend()
+                backend = self._sql_backend
+        return backend
 
     @property
     def sql_backend(self) -> SQLiteBackend:
@@ -265,12 +284,17 @@ class XQueryProcessor:
         the constructor lets a :class:`~repro.core.session.Session` keep
         one mirror alive across processor rebuilds.
         """
-        if self._sql_backend is None:
-            self._sql_backend = SQLiteBackend()
-        self._sql_backend.sync(self.encoding)
-        return self._sql_backend
+        backend = self._get_sql_backend()
+        backend.sync(self.encoding)
+        return backend
 
     # -- compilation -----------------------------------------------------------------
+
+    def pipeline(
+        self, isolation: Optional[JoinGraphIsolation] = None
+    ) -> CompilationPipeline:
+        """The explicit stage pipeline for one isolation configuration."""
+        return CompilationPipeline.configure(self.settings, isolation)
 
     def compile(
         self, source: str, isolation: Optional[JoinGraphIsolation] = None
@@ -283,56 +307,44 @@ class XQueryProcessor:
         Parse/normalize produce the key; for byte-identical source texts a
         memo skips even that.
         """
+        compilation, _ = self._compile(source, isolation)
+        return compilation
+
+    def _compile(
+        self, source: str, isolation: Optional[JoinGraphIsolation] = None
+    ) -> tuple[CompilationResult, bool]:
+        """:meth:`compile` plus a flag: was the plan built by *this* call?
+
+        Concurrent first compilations of the same query may both build (the
+        cache is consulted, not locked across the build) — the last ``put``
+        wins and both callers get a correct result; the duplicated work is
+        bounded by the number of racing threads.
+        """
         isolation_key = _isolation_key(isolation)
         memo_key = (source, isolation_key)
-        known_key = self._key_by_source.get(memo_key)
+        with self._memo_lock:
+            known_key = self._key_by_source.get(memo_key)
         if known_key is not None:
             cached = self.plan_cache.get(known_key)
             if cached is not None:
-                return cached
-        module = parse_module(source)
-        core = normalize(module.body, default_document=self.default_document)
-        settings = CompilerSettings(
-            add_serialization_step=self.add_serialization_step,
-            default_document=self.default_document,
-        )
+                return cached, False
+        pipeline = self.pipeline(isolation)
+        keyed = pipeline.key(source)
         # The declarations are part of the key: two sources with the same
         # core AST but different prologs (extra/unused or differently-typed
         # externals) have different binding interfaces.
-        cache_key = (core, module.externals, settings, isolation_key)
-        self._key_by_source[memo_key] = cache_key
-        while len(self._key_by_source) > 4 * self.plan_cache.maxsize:
-            self._key_by_source.popitem(last=False)
+        cache_key = (keyed.core, keyed.module.externals, self.settings, isolation_key)
+        with self._memo_lock:
+            self._key_by_source[memo_key] = cache_key
+            while len(self._key_by_source) > 4 * self.plan_cache.maxsize:
+                self._key_by_source.popitem(last=False)
         if known_key != cache_key:  # not already looked up (and missed) above
             cached = self.plan_cache.get(cache_key)
             if cached is not None:
-                return cached
-        compiler = LoopLiftingCompiler(settings)
-        stacked = compiler.compile(core)
-        isolated, report = (isolation or JoinGraphIsolation()).isolate(stacked)
-        join_graph: Optional[JoinGraph] = None
-        join_graph_sql: Optional[str] = None
-        join_graph_error: Optional[str] = None
-        try:
-            join_graph = extract_join_graph(isolated)
-            join_graph_sql = render_join_graph(join_graph)
-        except JoinGraphError as error:
-            join_graph_error = str(error)
-        result = CompilationResult(
-            source=source,
-            surface_ast=module.body,
-            core_ast=core,
-            stacked_plan=stacked,
-            isolated_plan=isolated,
-            isolation_report=report,
-            join_graph=join_graph,
-            join_graph_sql=join_graph_sql,
-            stacked_sql=generate_stacked_sql(stacked),
-            join_graph_error=join_graph_error,
-            external_variables=module.externals,
-        )
+                return cached, False
+        result = pipeline.build(keyed)
         self.plan_cache.put(cache_key, result)
-        return result
+        return result, True
 
     def prepare(
         self, source: str, isolation: Optional[JoinGraphIsolation] = None
@@ -355,8 +367,11 @@ class XQueryProcessor:
         bindings: Optional[Mapping[str, object]] = None,
     ) -> ExecutionOutcome:
         """Evaluate the *unrewritten* stacked plan with the algebra interpreter."""
-        compilation = self.compile(source)
-        return self._run_stacked(compilation, timeout_seconds, bindings)
+        compilation, fresh = self._compile(source)
+        return run_stacked(
+            compilation, self.context, timeout_seconds, bindings,
+            self._base_timings(compilation, fresh),
+        )
 
     def execute_isolated_interpreted(
         self,
@@ -365,8 +380,11 @@ class XQueryProcessor:
         bindings: Optional[Mapping[str, object]] = None,
     ) -> ExecutionOutcome:
         """Evaluate the isolated plan with the algebra interpreter (sanity path)."""
-        compilation = self.compile(source)
-        return self._run_isolated(compilation, timeout_seconds, bindings)
+        compilation, fresh = self._compile(source)
+        return run_isolated(
+            compilation, self.context, timeout_seconds, bindings,
+            self._base_timings(compilation, fresh),
+        )
 
     def execute_join_graph(
         self,
@@ -375,8 +393,11 @@ class XQueryProcessor:
         bindings: Optional[Mapping[str, object]] = None,
     ) -> ExecutionOutcome:
         """Plan + execute the SQL join graph on the relational back-end."""
-        compilation = self.compile(source)
-        return self._run_join_graph(compilation, timeout_seconds, bindings)
+        compilation, fresh = self._compile(source)
+        return run_join_graph(
+            compilation, self.context, timeout_seconds, bindings,
+            self._base_timings(compilation, fresh),
+        )
 
     def execute_sql(
         self,
@@ -385,8 +406,11 @@ class XQueryProcessor:
         bindings: Optional[Mapping[str, object]] = None,
     ) -> ExecutionOutcome:
         """Execute the isolated join-graph SFW block on the SQLite backend."""
-        compilation = self.compile(source)
-        return self._run_sql(compilation, timeout_seconds, bindings)
+        compilation, fresh = self._compile(source)
+        return run_sql(
+            compilation, self.context, timeout_seconds, bindings,
+            self._base_timings(compilation, fresh),
+        )
 
     def execute_sql_stacked(
         self,
@@ -395,8 +419,11 @@ class XQueryProcessor:
         bindings: Optional[Mapping[str, object]] = None,
     ) -> ExecutionOutcome:
         """Execute the stacked ``WITH``-chain on the SQLite backend (Section IV)."""
-        compilation = self.compile(source)
-        return self._run_sql_stacked(compilation, timeout_seconds, bindings)
+        compilation, fresh = self._compile(source)
+        return run_sql_stacked(
+            compilation, self.context, timeout_seconds, bindings,
+            self._base_timings(compilation, fresh),
+        )
 
     def execute(
         self,
@@ -412,13 +439,21 @@ class XQueryProcessor:
         ``"sql"`` (isolated SFW block on SQLite) or ``"sql-stacked"`` (the
         stacked ``WITH``-chain on SQLite).
         """
-        return self._dispatch(self.compile(source), configuration, timeout_seconds, bindings)
+        compilation, fresh = self._compile(source)
+        return execute_compiled(
+            compilation,
+            self.context,
+            configuration,
+            timeout_seconds,
+            bindings,
+            self._base_timings(compilation, fresh),
+        )
 
     def explain(
         self, source: str, bindings: Optional[Mapping[str, object]] = None
     ) -> str:
         """The relational back-end's execution plan for the query's join graph."""
-        return self._explain(self.compile(source), bindings)
+        return explain_compiled(self.compile(source), self.context, bindings)
 
     def serialize(self, items: list[int], separator: str = "") -> str:
         """Serialize a result node sequence back to XML text."""
@@ -428,49 +463,16 @@ class XQueryProcessor:
 
     # -- execution of compiled plans (shared with PreparedQuery) ----------------------
 
-    def _run_stacked(
-        self,
-        compilation: CompilationResult,
-        timeout_seconds: Optional[float],
-        bindings: Optional[Mapping[str, object]],
-    ) -> ExecutionOutcome:
-        values = check_bindings(compilation.external_variables, bindings)
-        interpreter = PlanInterpreter(
-            self.doc_table, timeout_seconds=timeout_seconds, parameters=values or None
-        )
-        table = interpreter.evaluate(compilation.stacked_plan)
-        return ExecutionOutcome(
-            items=self._items_from_table(table),
-            configuration="stacked",
-            rows_scanned=interpreter.rows_materialised,
-        )
+    @staticmethod
+    def _base_timings(
+        compilation: CompilationResult, fresh: bool
+    ) -> StageTimings:
+        """Seed an outcome's timing breakdown with the compile stages.
 
-    def _run_isolated(
-        self,
-        compilation: CompilationResult,
-        timeout_seconds: Optional[float],
-        bindings: Optional[Mapping[str, object]],
-    ) -> ExecutionOutcome:
-        values = check_bindings(compilation.external_variables, bindings)
-        interpreter = PlanInterpreter(
-            self.doc_table, timeout_seconds=timeout_seconds, parameters=values or None
-        )
-        table = interpreter.evaluate(compilation.isolated_plan)
-        return ExecutionOutcome(
-            items=self._items_from_table(table),
-            configuration="isolated-interpreted",
-            rows_scanned=interpreter.rows_materialised,
-        )
-
-    def _run_auto(
-        self,
-        compilation: CompilationResult,
-        timeout_seconds: Optional[float],
-        bindings: Optional[Mapping[str, object]],
-    ) -> ExecutionOutcome:
-        if compilation.join_graph is not None:
-            return self._run_join_graph(compilation, timeout_seconds, bindings)
-        return self._run_stacked(compilation, timeout_seconds, bindings)
+        Only when this very call compiled the plan — a plan-cache hit costs
+        (almost) nothing and must not re-report the original compile time.
+        """
+        return dict(compilation.timings) if fresh else {}
 
     def _dispatch(
         self,
@@ -480,139 +482,13 @@ class XQueryProcessor:
         bindings: Optional[Mapping[str, object]],
     ) -> ExecutionOutcome:
         """Route a compiled query to one execution configuration."""
-        runners = {
-            "auto": self._run_auto,
-            "stacked": self._run_stacked,
-            "isolated": self._run_isolated,
-            "join-graph": self._run_join_graph,
-            "sql": self._run_sql,
-            "sql-stacked": self._run_sql_stacked,
-        }
-        try:
-            runner = runners[configuration if configuration is not None else "auto"]
-        except KeyError:
-            expected = ", ".join(runners)
-            raise ValueError(
-                f"unknown configuration {configuration!r} (expected one of: {expected})"
-            ) from None
-        return runner(compilation, timeout_seconds, bindings)
-
-    def _explain(
-        self,
-        compilation: CompilationResult,
-        bindings: Optional[Mapping[str, object]],
-    ) -> str:
-        if compilation.join_graph is None:
-            raise JoinGraphError(
-                compilation.join_graph_error or "the query has no isolated join graph"
-            )
-        values = check_bindings(compilation.external_variables, bindings)
-        return self.engine.explain(compilation.join_graph, bindings=values or None)
-
-    def _run_join_graph(
-        self,
-        compilation: CompilationResult,
-        timeout_seconds: Optional[float],
-        bindings: Optional[Mapping[str, object]],
-    ) -> ExecutionOutcome:
-        if compilation.join_graph is None:
-            raise JoinGraphError(
-                compilation.join_graph_error or "the query has no isolated join graph"
-            )
-        values = check_bindings(compilation.external_variables, bindings)
-        result: QueryResult = self.engine.execute(
-            compilation.join_graph,
-            timeout_seconds=timeout_seconds,
-            bindings=values or None,
-        )
-        return ExecutionOutcome(
-            items=[item for item in result.items()],
-            configuration="join-graph",
-            rows_scanned=result.rows_scanned,
-            details=result,
+        return execute_compiled(
+            compilation, self.context, configuration, timeout_seconds, bindings
         )
 
     def _sql_backend_sql(self, compilation: CompilationResult) -> str:
-        """The join-graph SQL the RDBMS backend executes (rendered once).
-
-        Same block as ``compilation.join_graph_sql`` (Fig. 8/9), but the
-        FROM clause spells out a CROSS JOIN order: SQLite honours that
-        syntax as a join-order constraint, and the n-fold self-joins here
-        routinely defeat its own reorder search (a cold 10-way self-join
-        can run 100x slower than the same block with the order pinned).
-        The order comes from the in-tree cost-based planner when the graph
-        is value-complete; parameterized graphs fall back to the static
-        root-to-result (document descent) order so the text can be rendered
-        once and re-bound forever.
-        """
-        if compilation.join_graph is None:
-            raise JoinGraphError(
-                compilation.join_graph_error or "the query has no isolated join graph"
-            )
-        # The memo is keyed on the database the order was planned against:
-        # a CompilationResult lives in a PlanCache shared across processor
-        # rebuilds (catalog growth), and CROSS JOIN is a hard ordering
-        # constraint — re-plan against fresh statistics rather than pin an
-        # order chosen for a different catalog.
-        stats_key = (id(self.database), len(self.encoding))
-        if compilation.sql_backend_sql is None or compilation.sql_backend_sql[0] != stats_key:
-            graph = compilation.join_graph
-            join_order = list(reversed(graph.aliases))
-            if not graph.parameters():
-                try:
-                    join_order = self.engine.plan(graph).join_order
-                except PlanningError:
-                    pass  # keep the static descent order
-            compilation.sql_backend_sql = (
-                stats_key,
-                render_join_graph(graph, join_order=join_order),
-            )
-        return compilation.sql_backend_sql[1]
-
-    def _run_sql(
-        self,
-        compilation: CompilationResult,
-        timeout_seconds: Optional[float],
-        bindings: Optional[Mapping[str, object]],
-    ) -> ExecutionOutcome:
-        """Isolated join graph on the RDBMS: the paper's production story."""
-        sql = self._sql_backend_sql(compilation)
-        values = check_bindings(compilation.external_variables, bindings)
-        result: SQLResult = self.sql_backend.execute(
-            sql, bindings=values or None, timeout_seconds=timeout_seconds
-        )
-        return ExecutionOutcome(
-            items=ordered_items(result.columns, result.rows),
-            configuration="sql",
-            details=result,
-        )
-
-    def _run_sql_stacked(
-        self,
-        compilation: CompilationResult,
-        timeout_seconds: Optional[float],
-        bindings: Optional[Mapping[str, object]],
-    ) -> ExecutionOutcome:
-        """Stacked WITH-chain on the RDBMS: what Pathfinder ships unrewritten."""
-        values = check_bindings(compilation.external_variables, bindings)
-        result: SQLResult = self.sql_backend.execute(
-            compilation.stacked_sql,
-            bindings=values or None,
-            timeout_seconds=timeout_seconds,
-        )
-        return ExecutionOutcome(
-            items=sequence_items(result.columns, result.rows),
-            configuration="sql-stacked",
-            details=result,
-        )
-
-    # -- helpers -----------------------------------------------------------------------
-
-    @staticmethod
-    def _items_from_table(table: Table) -> list[int]:
-        # One shared decode step (see repro.sqlbackend.decode): the algebra
-        # interpreters and the SQL backend reassemble sequences identically.
-        return sequence_items(table.columns, table.rows)
+        """The join-graph SQL the RDBMS backend executes (rendered once)."""
+        return sql_backend_sql(compilation, self.context)
 
 
 @dataclass
@@ -664,4 +540,5 @@ class PreparedQuery:
 
     def explain(self, bindings: Optional[Mapping[str, object]] = None) -> str:
         """Explain the relational plan the bindings would be executed with."""
-        return self.processor_supplier()._explain(self.compilation, bindings)
+        processor = self.processor_supplier()
+        return explain_compiled(self.compilation, processor.context, bindings)

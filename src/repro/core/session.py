@@ -34,6 +34,7 @@ Example:
 
 from __future__ import annotations
 
+import threading
 from typing import Mapping, Optional
 
 from repro.errors import CatalogError
@@ -58,11 +59,21 @@ class DocumentStore:
     The encoding is append-only (``pre`` ranks of already-registered
     documents never change), which is what lets sessions keep compiled
     plans and previously returned ``pre`` ranks valid as the catalog grows.
+
+    Thread-safe: registrations serialize behind :attr:`lock` (a write
+    lock), and :attr:`version` is only ever bumped *after* the encoding
+    append completed — a reader that observes version ``v`` can therefore
+    snapshot the first ``len(encoding)`` rows without seeing a torn
+    document.  Derived-state builders (the session's processor rebuild)
+    take the same lock so a registration can never interleave with a
+    snapshot.
     """
 
     def __init__(self) -> None:
         self.encoding = DocumentEncoding()
         self._documents: dict[str, XMLNode] = {}
+        #: Serializes registration and derived-state snapshots.
+        self.lock = threading.RLock()
         #: Bumped on every registration; sessions use it to refresh derived
         #: state (doc table, database, indexes) lazily.
         self.version = 0
@@ -83,30 +94,35 @@ class DocumentStore:
         uri = doc.name
         if not uri:
             raise CatalogError("documents need a URI (the DOC node's name)")
-        if uri in self._documents:
-            raise CatalogError(f"document {uri!r} is already registered")
-        root = self.encoding.append_document(doc)
-        self._documents[uri] = doc
-        self.version += 1
-        return root
+        with self.lock:
+            if uri in self._documents:
+                raise CatalogError(f"document {uri!r} is already registered")
+            root = self.encoding.append_document(doc)
+            self._documents[uri] = doc
+            self.version += 1
+            return root
 
     # -- lookups ---------------------------------------------------------------
 
     def document(self, uri: str) -> XMLNode:
         """The original tree of a registered document (used by pureXML)."""
-        try:
-            return self._documents[uri]
-        except KeyError:
-            raise CatalogError(f"unknown document {uri!r}") from None
+        with self.lock:
+            try:
+                return self._documents[uri]
+            except KeyError:
+                raise CatalogError(f"unknown document {uri!r}") from None
 
     def document_uris(self) -> list[str]:
-        return list(self._documents)
+        with self.lock:
+            return list(self._documents)
 
     def __len__(self) -> int:
-        return len(self._documents)
+        with self.lock:
+            return len(self._documents)
 
     def __contains__(self, uri: str) -> bool:
-        return uri in self._documents
+        with self.lock:
+            return uri in self._documents
 
     def column_store(self, uri: str, segmented: bool = False) -> XMLColumnStore:
         """An XML column store over one document (the pureXML substrate)."""
@@ -126,6 +142,18 @@ class Session:
     document registration; :class:`~repro.core.pipeline.PreparedQuery`
     handles resolve the processor at execution time and therefore always
     run against the current catalog.
+
+    Thread-safe: the processor refresh is **copy-on-write** — a rebuild
+    constructs a complete new processor (doc table, database, indexes,
+    frozen execution context) off to the side and then swaps it in with one
+    atomic assignment, so concurrent queries either keep using the previous
+    processor (whose catalog snapshot stays valid: the encoding is
+    append-only) or see the finished new one, never a half-built
+    intermediate.  The rebuild itself holds :attr:`_rebuild_lock` (one
+    rebuild at a time) and the store's registration lock (no document
+    append can interleave with the snapshot).  The plan cache and the
+    SQLite mirror are shared across rebuilds and are themselves
+    thread-safe.
     """
 
     def __init__(
@@ -150,8 +178,10 @@ class Session:
         #: :class:`~repro.sqlbackend.backend.SQLiteBackend` to persist the
         #: mirror on disk.
         self.sql_backend = sql_backend or SQLiteBackend()
-        self._processor: Optional[XQueryProcessor] = None
-        self._processor_version = -1
+        #: The current ``(store version, processor)`` pair, swapped
+        #: atomically by :attr:`processor` rebuilds (copy-on-write).
+        self._current: Optional[tuple[int, XQueryProcessor]] = None
+        self._rebuild_lock = threading.Lock()
 
     # -- documents -------------------------------------------------------------
 
@@ -170,21 +200,34 @@ class Session:
 
     @property
     def processor(self) -> XQueryProcessor:
-        """The processor over the store's *current* state (lazily refreshed)."""
-        if self.store.version == self._processor_version and self._processor is not None:
-            return self._processor
-        if not len(self.store):
-            raise CatalogError("the session has no registered documents yet")
-        self._processor = XQueryProcessor(
-            self.store.encoding,
-            default_document=self.default_document,
-            with_default_indexes=self.with_default_indexes,
-            add_serialization_step=self.add_serialization_step,
-            plan_cache=self.plan_cache,
-            sql_backend=self.sql_backend,
-        )
-        self._processor_version = self.store.version
-        return self._processor
+        """The processor over the store's *current* state (lazily refreshed).
+
+        Fast path: one attribute read + version compare, no locks.  On a
+        version change the rebuild happens under :attr:`_rebuild_lock`
+        (double-checked, so racing threads rebuild once) and the new
+        processor is published with an atomic tuple swap.
+        """
+        current = self._current
+        if current is not None and current[0] == self.store.version:
+            return current[1]
+        with self._rebuild_lock:
+            current = self._current
+            if current is not None and current[0] == self.store.version:
+                return current[1]
+            with self.store.lock:
+                if not len(self.store):
+                    raise CatalogError("the session has no registered documents yet")
+                version = self.store.version
+                processor = XQueryProcessor(
+                    self.store.encoding,
+                    default_document=self.default_document,
+                    with_default_indexes=self.with_default_indexes,
+                    add_serialization_step=self.add_serialization_step,
+                    plan_cache=self.plan_cache,
+                    sql_backend=self.sql_backend,
+                )
+            self._current = (version, processor)
+            return processor
 
     # -- queries -----------------------------------------------------------------
 

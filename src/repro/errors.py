@@ -73,6 +73,10 @@ class CatalogError(ReproError):
     """Raised for catalog misuse: unknown/duplicate tables or indexes."""
 
 
+class BackendClosedError(CatalogError):
+    """Raised when a closed RDBMS backend (or its pool) is used again."""
+
+
 class PlanningError(ReproError):
     """Raised when the optimizer cannot produce a physical plan."""
 
@@ -95,3 +99,15 @@ class QueryTimeoutError(ReproError):
 
 class PureXMLError(ReproError):
     """Raised by the pureXML-substitute engine (storage or evaluation)."""
+
+
+class ServiceError(ReproError):
+    """Base class for query-service failures (:mod:`repro.service`)."""
+
+
+class ServiceClosedError(ServiceError):
+    """Raised when work is submitted to a :class:`QueryService` after close."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when admission control rejects a query (too many in flight)."""

@@ -1,0 +1,16 @@
+"""The concurrent serving layer: a worker pool over one :class:`Session`.
+
+:class:`QueryService` is the deployment-shaped entry point the ROADMAP's
+north star asks for — submit queries from any thread, run them on a pool
+of workers with admission control and per-query budgets, and read
+per-engine latency/throughput counters back out.  See
+:mod:`repro.service.service` for the full design notes.
+"""
+
+from repro.service.service import (
+    EngineMetrics,
+    QueryRequest,
+    QueryService,
+)
+
+__all__ = ["EngineMetrics", "QueryRequest", "QueryService"]

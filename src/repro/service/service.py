@@ -1,0 +1,394 @@
+""":class:`QueryService` — a concurrent query front-end over one session.
+
+The paper's claim is that an off-the-shelf RDBMS can *serve* XQuery
+workloads; this module supplies the serving machinery the evaluation
+chapters take for granted:
+
+* a **worker pool** (`concurrent.futures.ThreadPoolExecutor`) executing
+  queries against one shared :class:`~repro.core.session.Session` — safe
+  because the session's processor is copy-on-write, the plan cache is
+  locked, and the SQLite mirror hands every worker thread its own pooled
+  read connection (SQLite releases the GIL while a statement runs, so SQL
+  executions genuinely overlap on multicore hosts);
+* **admission control** — at most ``max_in_flight`` queries queued or
+  running; beyond that :meth:`QueryService.submit` either blocks
+  (``admission="block"``, the default) or fails fast with
+  :class:`~repro.errors.ServiceOverloadedError` (``admission="reject"``);
+* **per-query budgets** — a ``timeout_seconds`` per request (or the
+  service-wide default) flows into the engines' existing budget
+  mechanisms: SQLite's progress handler on the ``sql``/``sql-stacked``
+  paths, the interpreter/operator budgets elsewhere; overruns surface as
+  :class:`~repro.errors.QueryTimeoutError` on the future and are counted;
+* **metrics** — per-engine counters (submitted/completed/failed/timed
+  out/rejected, latency totals) plus the session's plan-cache counters,
+  one consistent snapshot via :meth:`QueryService.service_stats`.
+
+Every engine configuration of the paper's Table IX experiment runs through
+the service unchanged (``stacked``, ``isolated``, ``join-graph``, ``sql``,
+``sql-stacked``, or ``auto``), with results bit-for-bit identical to serial
+execution — the concurrency stress tests pin exactly that.
+
+Example:
+
+>>> from repro.core.session import Session
+>>> session = Session()
+>>> session.register("tiny.xml", "<a><b>1</b><b>2</b></a>")
+0
+>>> with QueryService(session, max_workers=2) as service:
+...     future = service.submit('doc("tiny.xml")/descendant::b')
+...     batch = service.execute_many(
+...         ['doc("tiny.xml")/descendant::b[. > 1]'] * 2, configuration="sql")
+>>> future.result().items
+[2, 4]
+>>> [outcome.items for outcome in batch]
+[[4], [4]]
+>>> service.service_stats()["engines"]["sql"]["completed"]
+2
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from repro.errors import (
+    QueryTimeoutError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.core.pipeline import ExecutionOutcome, PreparedQuery
+from repro.core.session import Session
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One unit of work for the service.
+
+    Either ``source`` (ad-hoc text, compiled through the session's plan
+    cache) or ``prepared`` (a :class:`~repro.core.pipeline.PreparedQuery`
+    handle) must be set.  ``configuration`` picks the engine —
+    ``"auto"``/``"stacked"``/``"isolated"``/``"join-graph"``/``"sql"``/
+    ``"sql-stacked"``, exactly as everywhere else in the stack.
+    """
+
+    source: Optional[str] = None
+    prepared: Optional[PreparedQuery] = None
+    bindings: Optional[Mapping[str, object]] = None
+    configuration: str = "auto"
+    timeout_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.source is None) == (self.prepared is None):
+            raise ValueError("a QueryRequest needs exactly one of source/prepared")
+
+
+#: Anything :meth:`QueryService.execute_many` accepts as one request.
+RequestLike = Union[str, PreparedQuery, QueryRequest]
+
+
+@dataclass
+class EngineMetrics:
+    """Counters for one engine configuration (keyed by *requested* name)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    timed_out: int = 0
+    rejected: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        mean = self.total_seconds / self.completed if self.completed else 0.0
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "timed_out": self.timed_out,
+            "rejected": self.rejected,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": mean,
+            "max_seconds": self.max_seconds,
+        }
+
+
+class QueryService:
+    """A thread-pool query service over one :class:`Session`.
+
+    The service does not own the session: closing the service stops the
+    workers but leaves the session (and its SQLite mirror) usable — several
+    services may even share one session, since all shared state below it
+    is lock-protected.
+
+    ``admission`` is ``"block"`` (default: :meth:`submit` waits for a free
+    slot) or ``"reject"`` (raise
+    :class:`~repro.errors.ServiceOverloadedError` immediately — the
+    behaviour a load balancer wants).
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        max_workers: int = 8,
+        max_in_flight: Optional[int] = None,
+        default_timeout_seconds: Optional[float] = None,
+        admission: str = "block",
+    ):
+        if max_workers < 1:
+            raise ValueError("QueryService needs at least one worker")
+        if admission not in ("block", "reject"):
+            raise ValueError('admission must be "block" or "reject"')
+        if max_in_flight is None:
+            max_in_flight = 2 * max_workers
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+        self.session = session
+        self.max_workers = max_workers
+        self.max_in_flight = max_in_flight
+        self.default_timeout_seconds = default_timeout_seconds
+        self.admission = admission
+        self._slots = threading.BoundedSemaphore(max_in_flight)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-query"
+        )
+        self._metrics: dict[str, EngineMetrics] = {}
+        self._metrics_lock = threading.Lock()
+        self._in_flight = 0
+        self._closed = False
+
+    # -- submission ------------------------------------------------------------------
+
+    def submit(
+        self,
+        source: Optional[str] = None,
+        bindings: Optional[Mapping[str, object]] = None,
+        configuration: str = "auto",
+        timeout_seconds: Optional[float] = None,
+        prepared: Optional[PreparedQuery] = None,
+    ) -> "Future[ExecutionOutcome]":
+        """Enqueue one query; returns a future of its ``ExecutionOutcome``.
+
+        The future raises whatever the engine raised — including
+        :class:`~repro.errors.QueryTimeoutError` when the per-query budget
+        (``timeout_seconds`` or the service default) ran out.
+        """
+        request = QueryRequest(
+            source=source,
+            prepared=prepared,
+            bindings=bindings,
+            configuration=configuration,
+            timeout_seconds=timeout_seconds,
+        )
+        return self.submit_request(request)
+
+    def submit_request(self, request: QueryRequest) -> "Future[ExecutionOutcome]":
+        """:meth:`submit`, taking an assembled :class:`QueryRequest`."""
+        if self._closed:
+            raise ServiceClosedError("this QueryService has been closed")
+        metrics = self._engine_metrics(request.configuration)
+        if not self._slots.acquire(blocking=self.admission == "block"):
+            with self._metrics_lock:
+                metrics.rejected += 1
+            raise ServiceOverloadedError(
+                f"admission control: {self.max_in_flight} queries already in flight"
+            )
+        with self._metrics_lock:
+            metrics.submitted += 1
+            self._in_flight += 1
+        try:
+            future = self._executor.submit(self._run, request, metrics)
+        except RuntimeError as error:
+            # The executor shut down between the closed check and here.
+            with self._metrics_lock:
+                metrics.submitted -= 1
+                self._in_flight -= 1
+            self._slots.release()
+            raise ServiceClosedError("this QueryService has been closed") from error
+        future.add_done_callback(self._release_slot)
+        return future
+
+    def execute(
+        self,
+        source: Optional[str] = None,
+        bindings: Optional[Mapping[str, object]] = None,
+        configuration: str = "auto",
+        timeout_seconds: Optional[float] = None,
+        prepared: Optional[PreparedQuery] = None,
+    ) -> ExecutionOutcome:
+        """Submit one query and wait for its result (convenience wrapper)."""
+        return self.submit(
+            source=source,
+            bindings=bindings,
+            configuration=configuration,
+            timeout_seconds=timeout_seconds,
+            prepared=prepared,
+        ).result()
+
+    def execute_many(
+        self,
+        requests: Iterable[RequestLike],
+        configuration: Optional[str] = None,
+        timeout_seconds: Optional[float] = None,
+        return_exceptions: bool = False,
+    ) -> list[ExecutionOutcome]:
+        """Execute a batch; results come back in *request order*.
+
+        Entries may be source strings, :class:`PreparedQuery` handles, or
+        full :class:`QueryRequest` objects; ``configuration`` /
+        ``timeout_seconds`` apply to the string/prepared shorthand forms.
+        Under ``admission="block"`` a batch larger than ``max_in_flight``
+        self-throttles through the semaphore; under ``admission="reject"``
+        over-limit entries fail individually with
+        :class:`~repro.errors.ServiceOverloadedError` while the admitted
+        rest of the batch still runs.  Results are gathered in request
+        order; with ``return_exceptions=True`` failures (execution *and*
+        admission) are returned in place instead of raised — the rest of
+        the batch is never discarded.  Without it, the first failure is
+        raised after every admitted request finished.
+        """
+        slots: list[Union[Future, BaseException]] = []
+        for entry in requests:
+            request = self._as_request(entry, configuration, timeout_seconds)
+            try:
+                slots.append(self.submit_request(request))
+            except ServiceError as error:
+                slots.append(error)
+        results: list[ExecutionOutcome] = []
+        first_error: Optional[BaseException] = None
+        for slot in slots:
+            if isinstance(slot, BaseException):
+                error: Optional[BaseException] = slot
+            else:
+                try:
+                    results.append(slot.result())
+                    continue
+                except BaseException as raised:
+                    error = raised
+            if return_exceptions:
+                results.append(error)  # type: ignore[arg-type]
+            elif first_error is None:
+                first_error = error
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def _as_request(
+        self,
+        entry: RequestLike,
+        configuration: Optional[str],
+        timeout_seconds: Optional[float],
+    ) -> QueryRequest:
+        if isinstance(entry, QueryRequest):
+            return entry
+        if isinstance(entry, PreparedQuery):
+            return QueryRequest(
+                prepared=entry,
+                configuration=configuration or "auto",
+                timeout_seconds=timeout_seconds,
+            )
+        return QueryRequest(
+            source=entry,
+            configuration=configuration or "auto",
+            timeout_seconds=timeout_seconds,
+        )
+
+    # -- the worker body ---------------------------------------------------------------
+
+    def _run(self, request: QueryRequest, metrics: EngineMetrics) -> ExecutionOutcome:
+        budget = (
+            request.timeout_seconds
+            if request.timeout_seconds is not None
+            else self.default_timeout_seconds
+        )
+        started = time.perf_counter()
+        try:
+            if request.prepared is not None:
+                outcome = request.prepared.run(
+                    request.bindings,
+                    engine=request.configuration,
+                    timeout_seconds=budget,
+                )
+            else:
+                outcome = self.session.execute(
+                    request.source,
+                    bindings=request.bindings,
+                    timeout_seconds=budget,
+                    configuration=request.configuration,
+                )
+        except QueryTimeoutError:
+            with self._metrics_lock:
+                metrics.timed_out += 1
+            raise
+        except BaseException:
+            with self._metrics_lock:
+                metrics.failed += 1
+            raise
+        elapsed = time.perf_counter() - started
+        with self._metrics_lock:
+            metrics.completed += 1
+            metrics.total_seconds += elapsed
+            metrics.max_seconds = max(metrics.max_seconds, elapsed)
+        return outcome
+
+    def _release_slot(self, _future: Future) -> None:
+        with self._metrics_lock:
+            self._in_flight -= 1
+        self._slots.release()
+
+    def _engine_metrics(self, configuration: str) -> EngineMetrics:
+        with self._metrics_lock:
+            metrics = self._metrics.get(configuration)
+            if metrics is None:
+                metrics = self._metrics[configuration] = EngineMetrics()
+            return metrics
+
+    # -- monitoring --------------------------------------------------------------------
+
+    def service_stats(self) -> dict[str, object]:
+        """One consistent snapshot of service + plan-cache counters.
+
+        ``engines`` is keyed by the *requested* configuration name (so
+        ``"auto"`` traffic is reported as such rather than smeared over the
+        engines it resolved to); ``plan_cache`` is the session's shared
+        cache — its hit rate spans ad-hoc service traffic, prepared
+        handles, and any serial use of the same session.
+        """
+        with self._metrics_lock:
+            engines = {
+                name: metrics.snapshot() for name, metrics in self._metrics.items()
+            }
+            in_flight = self._in_flight
+        return {
+            "engines": engines,
+            "in_flight": in_flight,
+            "max_in_flight": self.max_in_flight,
+            "max_workers": self.max_workers,
+            "admission": self.admission,
+            "closed": self._closed,
+            "plan_cache": self.session.cache_stats(),
+        }
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work and shut the pool down.  Idempotent.
+
+        In-flight queries finish (``wait=True`` blocks until they do); the
+        underlying session stays open — the service never owns it.
+        """
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,9 +1,8 @@
 """:class:`SQLiteBackend` — the off-the-shelf RDBMS behind ``configuration="sql"``.
 
-The backend owns one SQLite connection (in-memory by default, file-backed
-on request), mirrors a :class:`~repro.xmldb.encoding.DocumentEncoding`
-into the Fig. 2 ``doc`` table, and executes the two SQL renderings of
-:mod:`repro.core.sqlgen`:
+The backend mirrors a :class:`~repro.xmldb.encoding.DocumentEncoding`
+into the Fig. 2 ``doc`` table (in-memory by default, file-backed on
+request) and executes the two SQL renderings of :mod:`repro.core.sqlgen`:
 
 * the isolated join-graph SFW block (Fig. 8/9) — the paper's headline:
   one indexed n-fold self-join the RDBMS join workhorse handles well;
@@ -21,6 +20,28 @@ SQLite's native named-parameter binding (the ``:x`` markers the SQL
 renderers emit for :class:`~repro.core.joingraph.ParameterTerm` /
 :class:`~repro.algebra.predicates.Parameter` slots) — prepared queries
 re-execute without any SQL re-rendering.
+
+Concurrency
+-----------
+
+One backend serves many threads.  Instead of funnelling every statement
+through one connection (SQLite would serialize them on its internal
+mutex), the backend owns a :class:`ConnectionPool` of per-thread *read*
+connections:
+
+* **file-backed** mirrors hand each thread its own connection to the same
+  database file — SQLite allows any number of concurrent readers;
+* **in-memory** mirrors hand each thread a private *clone* of the primary
+  database (via the SQLite online-backup API — effectively a memcpy),
+  because a ``:memory:`` database is invisible to other connections.
+  Clones carry a generation tag; :meth:`sync` bumps the generation and
+  stale clones are re-cloned on their next checkout.
+
+All mutation — :meth:`sync`, non-``SELECT`` statements through
+:meth:`execute` — is serialized behind one write lock and runs on the
+primary connection; reads never take that lock (except the brief clone
+refresh after a catalog change).  SQLite releases the GIL while a
+statement executes, so pooled reads scale with cores.
 """
 
 from __future__ import annotations
@@ -28,17 +49,42 @@ from __future__ import annotations
 import os
 import re
 import sqlite3
+import threading
 import time
 import weakref
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Union
 
-from repro.errors import CatalogError, QueryTimeoutError
+from repro.errors import BackendClosedError, CatalogError, QueryTimeoutError
 from repro.sqlbackend.schema import bootstrap_schema, index_names, insert_statement
 from repro.xmldb.encoding import DOC_COLUMNS, DocumentEncoding
 
 #: VM instructions between progress-handler ticks while a timeout is armed.
 _PROGRESS_INTERVAL = 4000
+
+#: Statements that only read.  Anything else routes to the primary
+#: connection under the write lock (PRAGMA included: many pragmas write).
+_READ_STATEMENTS = ("SELECT", "EXPLAIN", "VALUES")
+
+#: SQLite allows CTE-prefixed DML (``WITH ... INSERT/UPDATE/DELETE``), so a
+#: leading WITH alone does not make a statement a read.  The scan is
+#: deliberately conservative: a false *write* classification only costs the
+#: statement its read concurrency (it runs serialized on the primary,
+#: still correct); a false read would lose the write in a thread-private
+#: clone.
+_WRITE_KEYWORD = re.compile(
+    r"\b(INSERT|UPDATE|DELETE|REPLACE|CREATE|DROP|ALTER|ATTACH|DETACH|VACUUM|REINDEX)\b",
+    re.IGNORECASE,
+)
+
+
+def _is_read_statement(sql: str) -> bool:
+    """True when ``sql`` is a pure query (safe to run on a pooled reader)."""
+    text = re.sub(r"^(\s|--[^\n]*\n|/\*.*?\*/)+", "", sql, flags=re.DOTALL)
+    first = text[:10].upper()
+    if any(first.startswith(keyword) for keyword in _READ_STATEMENTS):
+        return True
+    return first.startswith("WITH") and not _WRITE_KEYWORD.search(text)
 
 
 @dataclass
@@ -54,6 +100,128 @@ class SQLResult:
     @property
     def row_count(self) -> int:
         return len(self.rows)
+
+
+class ConnectionPool:
+    """Per-thread SQLite read connections over one primary database.
+
+    The pool owns the *primary* connection (the only one that writes) and
+    lazily creates one reader per thread:
+
+    * for a file-backed database, a fresh connection to the same path;
+    * for ``:memory:``, a clone of the primary made with the online-backup
+      API (``Connection.backup`` — available on every supported Python).
+
+    A generation counter invalidates readers: :meth:`mark_changed` (called
+    by the backend after every committed write) bumps it, and a stale
+    reader is refreshed on its next :meth:`acquire` — file readers just
+    adopt the new generation (the file already has the data), memory
+    readers are re-cloned from the primary under the write lock.
+
+    All connections are created with ``check_same_thread=False``; the pool's
+    discipline — one reader per thread, writes only on the primary under
+    :attr:`write_lock` — is what makes that safe.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.in_memory = path == ":memory:"
+        #: Serializes every mutation of the primary (sync, writes, clones).
+        self.write_lock = threading.RLock()
+        self.primary = sqlite3.connect(path, check_same_thread=False)
+        self._generation = 0
+        self._local = threading.local()
+        #: thread ident -> (weakref to the owning thread, its reader).
+        #: Lets close() reach every reader, and lets reader creation prune
+        #: connections whose threads have died — a long-lived session
+        #: serving short-lived threads must not accumulate clones forever.
+        self._readers: dict[int, tuple["weakref.ref", sqlite3.Connection]] = {}
+        self._registry_lock = threading.Lock()
+        self.closed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def mark_changed(self) -> None:
+        """Record a committed write; existing readers are now stale."""
+        self._generation += 1
+
+    def close(self) -> None:
+        """Close the primary and every pooled reader.  Idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        with self._registry_lock:
+            connections = [reader for _owner, reader in self._readers.values()]
+            self._readers.clear()
+        connections.append(self.primary)
+        for connection in connections:
+            try:
+                connection.close()
+            except sqlite3.Error:  # pragma: no cover - close() best effort
+                pass
+
+    # -- checkout ----------------------------------------------------------------
+
+    def acquire(self) -> sqlite3.Connection:
+        """The calling thread's read connection, refreshed if stale."""
+        if self.closed:
+            raise BackendClosedError("this SQLiteBackend has been closed")
+        generation = self._generation
+        connection = getattr(self._local, "connection", None)
+        if connection is not None and self._local.generation == generation:
+            return connection
+        if connection is None:
+            connection = self._new_reader()
+            self._local.connection = connection
+        elif self.in_memory:
+            # Stale clone: re-copy the primary (file readers see the file).
+            with self.write_lock:
+                self.primary.backup(connection)
+        self._local.generation = generation
+        return connection
+
+    def _new_reader(self) -> sqlite3.Connection:
+        if self.in_memory:
+            connection = sqlite3.connect(":memory:", check_same_thread=False)
+            with self.write_lock:
+                self.primary.backup(connection)
+        else:
+            connection = sqlite3.connect(self.path, check_same_thread=False)
+        stale: list[sqlite3.Connection] = []
+        with self._registry_lock:
+            if self.closed:  # closed while we were connecting
+                connection.close()
+                raise BackendClosedError("this SQLiteBackend has been closed")
+            # Reader creation is rare — piggyback the dead-thread sweep on
+            # it so clones never outlive their threads by more than one
+            # pool-growth event.
+            for ident, (owner, reader) in list(self._readers.items()):
+                thread = owner()
+                if thread is None or not thread.is_alive():
+                    del self._readers[ident]
+                    stale.append(reader)
+            # A reused thread ident means the previous owner is dead but
+            # was not swept above (weakref still alive); close it too
+            # rather than leaking it on overwrite.
+            previous = self._readers.get(threading.get_ident())
+            if previous is not None:
+                stale.append(previous[1])
+            self._readers[threading.get_ident()] = (
+                weakref.ref(threading.current_thread()),
+                connection,
+            )
+        for reader in stale:
+            try:
+                reader.close()
+            except sqlite3.Error:  # pragma: no cover - close() best effort
+                pass
+        return connection
+
+    @property
+    def size(self) -> int:
+        """Connections currently open (primary + per-thread readers)."""
+        with self._registry_lock:
+            return 1 + len(self._readers)
 
 
 class SQLiteBackend:
@@ -79,7 +247,14 @@ class SQLiteBackend:
     ):
         self.table_name = table_name
         self.path = str(path)
-        self.connection = sqlite3.connect(self.path)
+        self.pool = ConnectionPool(self.path)
+        if not self.pool.in_memory:
+            # Readers and the sync writer coexist under WAL; without it a
+            # pooled reader could starve a registration for the busy timeout.
+            try:
+                self.pool.primary.execute("PRAGMA journal_mode=WAL")
+            except sqlite3.Error:  # pragma: no cover - exotic filesystems
+                pass
         self.index_names = bootstrap_schema(
             self.connection, table_name, with_indexes=with_indexes
         )
@@ -89,6 +264,18 @@ class SQLiteBackend:
             self.connection.execute(f"SELECT COUNT(*) FROM {table_name}").fetchone()[0]
         )
         self._source: Optional["weakref.ref[DocumentEncoding]"] = None
+        self.pool.mark_changed()  # schema bootstrap happened on the primary
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The primary (write) connection — reads go through :attr:`pool`."""
+        if self.pool.closed:
+            raise BackendClosedError("this SQLiteBackend has been closed")
+        return self.pool.primary
+
+    @property
+    def closed(self) -> bool:
+        return self.pool.closed
 
     @classmethod
     def from_encoding(cls, encoding: DocumentEncoding, **kwargs) -> "SQLiteBackend":
@@ -109,32 +296,43 @@ class SQLiteBackend:
         instead of silently interleaving two catalogs.  A backend opened
         over a pre-populated (file-backed) database verifies once that the
         existing rows are a prefix of ``encoding`` before adopting it.
+
+        Thread-safe: the whole load is serialized behind the pool's write
+        lock, and concurrent no-op syncs (the common per-execution case)
+        return without blocking readers.
         """
-        if self._source is not None and self._source() is not encoding:
-            raise CatalogError(
-                "this SQLiteBackend already mirrors a different DocumentEncoding"
+        with self.pool.write_lock:
+            if self.pool.closed:
+                raise BackendClosedError("this SQLiteBackend has been closed")
+            if self._source is not None and self._source() is not encoding:
+                raise CatalogError(
+                    "this SQLiteBackend already mirrors a different DocumentEncoding"
+                )
+            total = len(encoding)
+            if total < self.loaded_rows:
+                raise CatalogError(
+                    f"encoding has {total} rows but {self.loaded_rows} are already "
+                    "mirrored; encodings are append-only"
+                )
+            if self._source is None and self.loaded_rows:
+                self._verify_mirrored_prefix(encoding)
+            self._source = weakref.ref(encoding)
+            if total == self.loaded_rows:
+                return 0
+            # Slice up to the observed total, not the open end: another
+            # document may be (atomically) appended while we load, and its
+            # rows must wait for the next sync or they would be re-inserted.
+            fresh = encoding.records[self.loaded_rows : total]
+            self.connection.executemany(
+                self._insert_sql, (record.as_tuple() for record in fresh)
             )
-        total = len(encoding)
-        if total < self.loaded_rows:
-            raise CatalogError(
-                f"encoding has {total} rows but {self.loaded_rows} are already "
-                "mirrored; encodings are append-only"
-            )
-        if self._source is None and self.loaded_rows:
-            self._verify_mirrored_prefix(encoding)
-        self._source = weakref.ref(encoding)
-        if total == self.loaded_rows:
-            return 0
-        fresh = encoding.records[self.loaded_rows :]
-        self.connection.executemany(
-            self._insert_sql, (record.as_tuple() for record in fresh)
-        )
-        self.connection.commit()
-        self.loaded_rows = total
-        # Refresh planner statistics so access-path choices see the new data.
-        self.connection.execute("PRAGMA analysis_limit = 1000")
-        self.connection.execute("ANALYZE")
-        return len(fresh)
+            self.connection.commit()
+            self.loaded_rows = total
+            # Refresh planner statistics so access-path choices see the new data.
+            self.connection.execute("PRAGMA analysis_limit = 1000")
+            self.connection.execute("ANALYZE")
+            self.pool.mark_changed()
+            return len(fresh)
 
     def _verify_mirrored_prefix(self, encoding: DocumentEncoding) -> None:
         """Check that already-mirrored rows equal ``encoding``'s prefix.
@@ -162,7 +360,7 @@ class SQLiteBackend:
 
     def row_count(self) -> int:
         """Rows currently in the ``doc`` table (sanity/monitoring hook)."""
-        cursor = self.connection.execute(f"SELECT COUNT(*) FROM {self.table_name}")
+        cursor = self.pool.acquire().execute(f"SELECT COUNT(*) FROM {self.table_name}")
         return int(cursor.fetchone()[0])
 
     # -- execution ---------------------------------------------------------------
@@ -175,10 +373,37 @@ class SQLiteBackend:
     ) -> SQLResult:
         """Run one SQL statement; named ``:x`` markers bind from ``bindings``.
 
+        Queries (``SELECT``/``WITH``/``EXPLAIN``/``VALUES``) run on the
+        calling thread's pooled connection, concurrently with other
+        readers; anything else runs on the primary connection behind the
+        write lock and invalidates the pool.
+
         ``timeout_seconds`` arms SQLite's progress handler as an execution
         budget; overruns raise :class:`~repro.errors.QueryTimeoutError`
-        (the paper's DNF), like every other execution configuration.
+        (the paper's DNF), like every other execution configuration.  The
+        handler is installed on the thread-private connection, so budgets
+        on parallel queries never interfere.
         """
+        if self.pool.closed:
+            raise BackendClosedError(
+                "this SQLiteBackend has been closed; create a new backend "
+                "(or a new Session) to keep executing"
+            )
+        if _is_read_statement(sql):
+            return self._run(self.pool.acquire(), sql, bindings, timeout_seconds)
+        with self.pool.write_lock:
+            result = self._run(self.connection, sql, bindings, timeout_seconds)
+            self.connection.commit()
+            self.pool.mark_changed()
+            return result
+
+    def _run(
+        self,
+        connection: sqlite3.Connection,
+        sql: str,
+        bindings: Optional[Mapping[str, object]],
+        timeout_seconds: Optional[float],
+    ) -> SQLResult:
         values = dict(bindings or {})
         started = time.perf_counter()
         if timeout_seconds is not None:
@@ -187,9 +412,9 @@ class SQLiteBackend:
             def _over_budget() -> int:
                 return 1 if time.perf_counter() > deadline else 0
 
-            self.connection.set_progress_handler(_over_budget, _PROGRESS_INTERVAL)
+            connection.set_progress_handler(_over_budget, _PROGRESS_INTERVAL)
         try:
-            cursor = self.connection.execute(sql, values)
+            cursor = connection.execute(sql, values)
             rows = cursor.fetchall()
         except sqlite3.OperationalError as error:
             if timeout_seconds is not None and "interrupt" in str(error).lower():
@@ -197,9 +422,18 @@ class SQLiteBackend:
                     timeout_seconds, time.perf_counter() - started
                 ) from None
             raise
+        except sqlite3.ProgrammingError:
+            if self.pool.closed:
+                raise BackendClosedError(
+                    "this SQLiteBackend has been closed"
+                ) from None
+            raise
         finally:
             if timeout_seconds is not None:
-                self.connection.set_progress_handler(None, 0)
+                try:
+                    connection.set_progress_handler(None, 0)
+                except sqlite3.ProgrammingError:
+                    pass  # closed concurrently; nothing left to disarm
         columns = tuple(item[0] for item in cursor.description or ())
         return SQLResult(
             sql=sql,
@@ -220,17 +454,23 @@ class SQLiteBackend:
         """
         values = {name: None for name in re.findall(r":([A-Za-z_]\w*)", sql)}
         values.update(bindings or {})
-        cursor = self.connection.execute("EXPLAIN QUERY PLAN " + sql, values)
+        cursor = self.pool.acquire().execute("EXPLAIN QUERY PLAN " + sql, values)
         return [row[-1] for row in cursor.fetchall()]
 
     def indexes(self) -> list[str]:
         """Names of the indexes currently defined on the ``doc`` table."""
-        return index_names(self.connection, self.table_name)
+        return index_names(self.pool.acquire(), self.table_name)
 
     # -- lifecycle ----------------------------------------------------------------
 
     def close(self) -> None:
-        self.connection.close()
+        """Close the primary connection and every pooled reader.
+
+        Idempotent: closing twice (or via nested ``with`` blocks) is a
+        no-op.  Any later :meth:`execute`/:meth:`sync` raises
+        :class:`~repro.errors.BackendClosedError`.
+        """
+        self.pool.close()
 
     def __enter__(self) -> "SQLiteBackend":
         return self

@@ -71,29 +71,42 @@ class DocumentEncoding:
     # -- construction --------------------------------------------------------
 
     def append_document(self, doc: XMLNode) -> int:
-        """Encode ``doc`` (a DOC node) and return the ``pre`` rank of its DOC row."""
+        """Encode ``doc`` (a DOC node) and return the ``pre`` rank of its DOC row.
+
+        Single-writer, many-readers: the subtree is encoded into a staging
+        list and published with one ``list.extend`` (atomic under the GIL),
+        so concurrent readers — the SQLite mirror's incremental ``sync``,
+        a processor rebuild snapshotting ``rows()`` — see either none of
+        the document's rows or all of them, never a half-filled tail.
+        Concurrent *appends* still need external serialization (the
+        :class:`~repro.core.session.DocumentStore` registration lock).
+        """
         if doc.kind is not NodeKind.DOC:
             raise ValueError("append_document expects a document node")
         start = len(self._records)
-        self._encode_subtree(doc, level=0)
+        staged: list[NodeRecord] = []
+        self._encode_subtree(doc, level=0, staged=staged, base=start)
+        self._records.extend(staged)
         if doc.name:
             self._document_roots[doc.name] = start
         self._level_index = None
         return start
 
-    def _encode_subtree(self, node: XMLNode, level: int) -> int:
-        """Encode ``node`` and its subtree; return the number of rows emitted."""
-        position = len(self._records)
+    def _encode_subtree(
+        self, node: XMLNode, level: int, staged: list, base: int
+    ) -> int:
+        """Encode ``node``'s subtree into ``staged``; return rows emitted."""
+        position = base + len(staged)
         # Reserve the slot; the size is only known after the subtree is done.
-        self._records.append(None)  # type: ignore[arg-type]
+        staged.append(None)
         emitted = 0
         for attribute in node.attributes:
-            emitted += self._encode_subtree(attribute, level + 1)
+            emitted += self._encode_subtree(attribute, level + 1, staged, base)
         for child in node.children:
-            emitted += self._encode_subtree(child, level + 1)
+            emitted += self._encode_subtree(child, level + 1, staged, base)
         value, data = _node_value(node, subtree_size=emitted)
         name = node.name
-        self._records[position] = NodeRecord(
+        staged[position - base] = NodeRecord(
             pre=position,
             size=emitted,
             level=level,

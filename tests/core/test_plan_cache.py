@@ -135,3 +135,55 @@ def test_lru_recency_refresh():
 def test_plan_cache_rejects_zero_size():
     with pytest.raises(ValueError):
         PlanCache(maxsize=0)
+
+
+# -- thread safety -------------------------------------------------------------------
+
+
+def test_clear_resets_counters_with_entries():
+    """Regression: clear() used to drop entries but keep the traffic
+    counters, so stats() reported hits/misses/evictions that no entry of
+    the current cache generation ever produced."""
+    cache = PlanCache(maxsize=2)
+    cache.put("a", "A")
+    cache.put("b", "B")
+    cache.put("c", "C")          # one eviction
+    assert cache.get("a") is None  # one miss ('a' was evicted)
+    assert cache.get("b") == "B"   # one hit
+    cache.clear()
+    assert cache.stats() == {
+        "size": 0,
+        "maxsize": 2,
+        "hits": 0,
+        "misses": 0,
+        "evictions": 0,
+    }
+
+
+def test_concurrent_get_put_keeps_counters_consistent():
+    import threading
+
+    cache = PlanCache(maxsize=8)
+    threads_n, per_thread = 8, 200
+    keys = [f"k{i}" for i in range(16)]  # 2x maxsize: constant eviction churn
+    barrier = threading.Barrier(threads_n)
+
+    def hammer(seed):
+        barrier.wait()
+        for i in range(per_thread):
+            key = keys[(seed + i) % len(keys)]
+            if cache.get(key) is None:
+                cache.put(key, key.upper())
+
+    threads = [threading.Thread(target=hammer, args=(s,)) for s in range(threads_n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    stats = cache.stats()
+    # Exact invariant: every get() incremented exactly one of hits/misses.
+    assert stats["hits"] + stats["misses"] == threads_n * per_thread
+    # Size never exceeds maxsize, and the LRU structure survived the churn.
+    assert 0 < stats["size"] <= 8
+    assert len(cache) == stats["size"]

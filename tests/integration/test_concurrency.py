@@ -1,0 +1,234 @@
+"""Concurrency stress tests: one shared Session, many threads, identical results.
+
+The serving layer's whole contract is that concurrency is *transparent*:
+N threads hammering one :class:`~repro.core.session.Session` (directly or
+through a :class:`~repro.service.QueryService`) must produce bit-for-bit
+the results serial execution produces, for every engine configuration, and
+must leave the shared plan cache in a deterministically explainable state.
+
+Design notes for determinism:
+
+* every (query, configuration, binding) combination is first executed
+  serially to record the expected items; worker threads then re-execute
+  the same combinations many times and record mismatches;
+* the plan-cache invariant checked at the end is exact: each ad-hoc
+  ``execute``/``prepare`` performs exactly one cache lookup, so
+  ``hits + misses == lookups``; racing *first* compilations may miss more
+  than once (both threads build, last put wins), so ``misses`` is bounded
+  by [distinct entries, thread count x distinct entries] and ``size`` is
+  exactly the number of distinct entries.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.session import Session
+from repro.service import QueryService
+
+THREADS = 8
+ITERATIONS = 3
+
+XML = (
+    "<site>"
+    "<open_auction><bidder>10</bidder><bidder>20</bidder></open_auction>"
+    "<open_auction><initial>5</initial></open_auction>"
+    "<open_auction><bidder>30</bidder></open_auction>"
+    "<closed_auction><price>500</price></closed_auction>"
+    "<closed_auction><price>700</price></closed_auction>"
+    "</site>"
+)
+OTHER_XML = "<log><entry>1</entry><entry>2</entry><entry>3</entry></log>"
+
+ADHOC_QUERIES = (
+    'doc("site.xml")/descendant::open_auction[child::bidder]',
+    'doc("site.xml")/descendant::closed_auction/child::price',
+    'doc("site.xml")/descendant::bidder',
+)
+PARAM_QUERY = (
+    "declare variable $lo as xs:decimal external; "
+    'doc("site.xml")/descendant::price[. > $lo]'
+)
+BINDINGS = ({"lo": 400}, {"lo": 600}, {"lo": 900})
+
+CONFIGURATIONS = ("stacked", "isolated", "join-graph", "sql", "sql-stacked")
+
+
+def _fresh_session():
+    session = Session()
+    session.register("site.xml", XML)
+    session.register("log.xml", OTHER_XML)
+    return session
+
+
+def _expected_results(session, prepared):
+    expected = {}
+    for query in ADHOC_QUERIES:
+        for configuration in CONFIGURATIONS:
+            expected[(query, configuration, None)] = session.execute(
+                query, configuration=configuration
+            ).items
+    for binding in BINDINGS:
+        for configuration in CONFIGURATIONS:
+            expected[(PARAM_QUERY, configuration, binding["lo"])] = prepared.run(
+                binding, engine=configuration
+            ).items
+    return expected
+
+
+def test_eight_threads_on_one_session_match_serial_bit_for_bit():
+    session = _fresh_session()
+    prepared = session.prepare(PARAM_QUERY)
+    expected = _expected_results(session, prepared)
+    lookups_before = _cache_lookups(session)
+    size_before = session.cache_stats()["size"]
+
+    mismatches = []
+    errors = []
+    barrier = threading.Barrier(THREADS)
+
+    def worker(seed: int):
+        try:
+            barrier.wait()  # maximize interleaving
+            for iteration in range(ITERATIONS):
+                for offset, query in enumerate(ADHOC_QUERIES):
+                    configuration = CONFIGURATIONS[
+                        (seed + iteration + offset) % len(CONFIGURATIONS)
+                    ]
+                    outcome = session.execute(query, configuration=configuration)
+                    key = (query, configuration, None)
+                    if outcome.items != expected[key]:
+                        mismatches.append((key, outcome.items))
+                for offset, binding in enumerate(BINDINGS):
+                    configuration = CONFIGURATIONS[
+                        (seed + iteration + offset + 1) % len(CONFIGURATIONS)
+                    ]
+                    outcome = prepared.run(binding, engine=configuration)
+                    key = (PARAM_QUERY, configuration, binding["lo"])
+                    if outcome.items != expected[key]:
+                        mismatches.append((key, outcome.items))
+        except Exception as error:  # pragma: no cover - diagnostic path
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(seed,)) for seed in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors, errors
+    assert not mismatches, mismatches[:5]
+
+    # -- deterministic cache invariants ------------------------------------------
+    stats = session.cache_stats()
+    # No new compilations: every source text was compiled during the serial
+    # warm-up, so concurrent traffic was pure hits and the entry set is frozen.
+    assert stats["size"] == size_before
+    assert stats["evictions"] == 0
+    # Exactly one lookup per ad-hoc execute; prepared runs never look up.
+    adhoc_executions = THREADS * ITERATIONS * len(ADHOC_QUERIES)
+    assert _cache_lookups(session) == lookups_before + adhoc_executions
+    # All misses came from the serial warm-up (one per distinct source);
+    # every concurrent lookup was a hit.
+    assert stats["misses"] == stats["size"]
+
+
+def _cache_lookups(session) -> int:
+    stats = session.cache_stats()
+    return stats["hits"] + stats["misses"]
+
+
+def test_query_service_stress_matches_serial_across_configurations():
+    session = _fresh_session()
+    prepared = session.prepare(PARAM_QUERY)
+    expected = _expected_results(session, prepared)
+
+    requests = []
+    keys = []
+    for repeat in range(THREADS):
+        for offset, query in enumerate(ADHOC_QUERIES):
+            configuration = CONFIGURATIONS[(repeat + offset) % len(CONFIGURATIONS)]
+            requests.append((query, configuration, None))
+            keys.append((query, configuration, None))
+        for offset, binding in enumerate(BINDINGS):
+            configuration = CONFIGURATIONS[(repeat + offset + 2) % len(CONFIGURATIONS)]
+            requests.append((PARAM_QUERY, configuration, binding))
+            keys.append((PARAM_QUERY, configuration, binding["lo"]))
+
+    from repro.service import QueryRequest
+
+    with QueryService(session, max_workers=THREADS) as service:
+        outcomes = service.execute_many(
+            [
+                QueryRequest(
+                    source=source, configuration=configuration, bindings=binding
+                )
+                for source, configuration, binding in requests
+            ]
+        )
+        stats = service.service_stats()
+
+    for key, outcome in zip(keys, outcomes):
+        assert outcome.items == expected[key], key
+
+    completed = sum(engine["completed"] for engine in stats["engines"].values())
+    assert completed == len(requests)
+    assert stats["in_flight"] == 0
+    assert all(
+        engine["failed"] == 0 and engine["timed_out"] == 0
+        for engine in stats["engines"].values()
+    )
+
+
+def test_registration_during_concurrent_traffic_is_safe():
+    """Catalog growth mid-traffic: old queries stay valid, new doc appears."""
+    session = _fresh_session()
+    expected = session.execute(ADHOC_QUERIES[0], configuration="sql").items
+    errors = []
+    stop = threading.Event()
+
+    def reader():
+        try:
+            while not stop.is_set():
+                outcome = session.execute(ADHOC_QUERIES[0], configuration="sql")
+                assert outcome.items == expected
+        except Exception as error:  # pragma: no cover - diagnostic path
+            errors.append(error)
+
+    readers = [threading.Thread(target=reader) for _ in range(4)]
+    for thread in readers:
+        thread.start()
+    try:
+        for index in range(5):
+            session.register(f"extra-{index}.xml", f"<extra><n>{index}</n></extra>")
+    finally:
+        stop.set()
+        for thread in readers:
+            thread.join()
+
+    assert not errors, errors
+    # The new documents are queryable, through every backend.
+    for configuration in CONFIGURATIONS:
+        outcome = session.execute(
+            'doc("extra-4.xml")/descendant::n', configuration=configuration
+        )
+        assert len(outcome.items) == 1, configuration
+    # Old results survived the rebuilds bit-for-bit.
+    assert session.execute(ADHOC_QUERIES[0], configuration="sql").items == expected
+
+
+def test_concurrent_processor_rebuild_happens_once():
+    session = _fresh_session()
+    results = []
+    barrier = threading.Barrier(THREADS)
+
+    def grab():
+        barrier.wait()
+        results.append(session.processor)
+
+    threads = [threading.Thread(target=grab) for _ in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len({id(processor) for processor in results}) == 1

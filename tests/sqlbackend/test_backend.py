@@ -4,7 +4,7 @@ import gc
 
 import pytest
 
-from repro.errors import CatalogError, QueryTimeoutError
+from repro.errors import BackendClosedError, CatalogError, QueryTimeoutError
 from repro.sqlbackend import ACCESS_PATH_INDEXES, SQLiteBackend
 from repro.sqlbackend.decode import ordered_items, sequence_items
 from repro.xmldb.encoding import encode_document
@@ -157,9 +157,9 @@ def test_timeout_budget_aborts_execution():
 def test_context_manager_closes_connection():
     with SQLiteBackend() as backend:
         assert backend.execute("SELECT 1").rows == [(1,)]
-    import sqlite3
-
-    with pytest.raises(sqlite3.ProgrammingError):
+    # After close the backend fails with a library error, not a raw
+    # sqlite3.ProgrammingError (regression: the seed leaked the latter).
+    with pytest.raises(BackendClosedError):
         backend.execute("SELECT 1")
 
 
@@ -180,3 +180,141 @@ def test_ordered_items_projects_in_row_order():
     columns = ("item", "item1")
     rows = [(5, 1), (2, 2), (5, 3)]
     assert ordered_items(columns, rows) == [5, 2, 5]
+
+
+# -- connection pool / lifecycle ----------------------------------------------------
+
+
+def test_close_is_idempotent_and_sync_fails_after_close():
+    backend = SQLiteBackend()
+    encoding = _encoding()
+    backend.sync(encoding)
+    backend.close()
+    backend.close()  # second close is a no-op, not an error
+    with pytest.raises(BackendClosedError):
+        backend.execute("SELECT 1")
+    with pytest.raises(BackendClosedError):
+        backend.sync(encoding)
+    # BackendClosedError is part of the CatalogError family: one except
+    # clause catches every backend misuse.
+    assert issubclass(BackendClosedError, CatalogError)
+
+
+def test_pooled_reads_from_many_threads_see_identical_rows():
+    import threading
+
+    backend = SQLiteBackend.from_encoding(_encoding())
+    results = {}
+
+    def read(i):
+        results[i] = backend.execute("SELECT pre FROM doc WHERE name = 'b'").rows
+
+    threads = [threading.Thread(target=read, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert all(rows == [(2,), (4,)] for rows in results.values()), results
+    # Each thread got its own reader on top of the primary connection.
+    assert backend.pool.size > 1
+    backend.close()
+
+
+def test_sync_invalidates_pooled_readers():
+    import threading
+
+    from repro.xmldb.encoding import DocumentEncoding
+
+    encoding = DocumentEncoding()
+    encoding.append_document(parse_xml("<a><b>1</b></a>", uri="one.xml"))
+    backend = SQLiteBackend.from_encoding(encoding)
+
+    counts = {}
+
+    def count(i):
+        counts[i] = backend.execute(
+            "SELECT COUNT(*) FROM doc WHERE name = 'b'"
+        ).rows[0][0]
+
+    threads = [threading.Thread(target=count, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert all(value == 1 for value in counts.values())
+
+    encoding.append_document(parse_xml("<x><b>2</b><b>3</b></x>", uri="two.xml"))
+    backend.sync(encoding)
+
+    threads = [threading.Thread(target=count, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert all(value == 3 for value in counts.values()), counts
+    backend.close()
+
+
+def test_write_statements_route_to_primary_and_invalidate_readers():
+    import threading
+
+    backend = SQLiteBackend.from_encoding(_encoding())
+    # Reads on this thread now come from a pooled clone.
+    assert backend.execute("SELECT COUNT(*) FROM doc").rows[0][0] == 6
+    backend.execute("CREATE TABLE scratch (x INTEGER)")
+    backend.execute("INSERT INTO scratch VALUES (41), (42)")
+    # The DDL/DML ran on the primary and bumped the pool generation, so the
+    # clone refreshes and sees the new table — from any thread.
+    seen = {}
+
+    def read(i):
+        seen[i] = backend.execute("SELECT x FROM scratch ORDER BY x").rows
+
+    read(0)
+    thread = threading.Thread(target=read, args=(1,))
+    thread.start()
+    thread.join()
+    assert seen[0] == seen[1] == [(41,), (42,)]
+    backend.close()
+
+
+def test_cte_prefixed_dml_routes_to_the_primary():
+    """Regression: SQLite allows WITH-prefixed INSERT/UPDATE/DELETE — those
+    must not run on a thread-private reader clone (the write would vanish
+    with the clone at the next refresh)."""
+    import threading
+
+    backend = SQLiteBackend.from_encoding(_encoding())
+    backend.execute("CREATE TABLE scratch2 (x INTEGER)")
+    backend.execute(
+        "WITH v(x) AS (VALUES (7), (8)) INSERT INTO scratch2 SELECT x FROM v"
+    )
+    seen = {}
+
+    def read(i):
+        seen[i] = backend.execute("SELECT x FROM scratch2 ORDER BY x").rows
+
+    read(0)
+    thread = threading.Thread(target=read, args=(1,))
+    thread.start()
+    thread.join()
+    assert seen[0] == seen[1] == [(7,), (8,)]
+    backend.close()
+
+
+def test_dead_thread_readers_are_pruned():
+    """A long-lived backend serving short-lived threads must not keep one
+    clone per thread that ever existed."""
+    import threading
+
+    backend = SQLiteBackend.from_encoding(_encoding())
+    for _ in range(10):
+        thread = threading.Thread(
+            target=lambda: backend.execute("SELECT COUNT(*) FROM doc")
+        )
+        thread.start()
+        thread.join()
+    # One more reader creation sweeps the dead threads' connections.
+    backend.execute("SELECT 1")
+    assert backend.pool.size <= 3  # primary + this thread (+ <=1 unswept)
+    backend.close()
