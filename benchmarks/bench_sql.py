@@ -37,8 +37,12 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 from repro.bench.workloads import WORKLOAD, build_dblp_dataset, build_xmark_dataset
 from repro.core.pipeline import XQueryProcessor
 
-#: Workloads with an isolated join graph (Q2 does not reduce to one; its
-#: stacked chain is reported informationally, there is nothing to compare).
+#: Gated workloads.  Q2 *does* reduce to a join graph since the fragment
+#: widening (a 12-fold self-join with two value-join edges), but on SQLite
+#: its isolated block only modestly beats the stacked chain (~1.4x at scale
+#: 0.5 — both renderings are dominated by the same value-join work), so it
+#: stays out of the >= 5x gate; benchmarks/bench_fragment.py gates the
+#: value-join shapes against the interpreted baseline instead.
 GATED = ("Q1", "Q3", "Q4", "Q5", "Q6")
 MIN_SPEEDUP = 5.0
 

@@ -79,29 +79,57 @@ def substitute(root: Operator, replacements: Mapping[int, Operator]) -> Operator
     """Rebuild the DAG with ``replacements`` (keyed by ``id`` of the old node).
 
     Sharing is preserved: every untouched node is reused as-is, and every
-    reference to a replaced node sees the same replacement object.  The
-    replacement subtree is spliced in verbatim — it may legitimately contain
-    the replaced node itself (rules such as (8) wrap the matched operator),
-    so no substitution is performed *inside* a replacement.
+    reference to a replaced node sees the same replacement object —
+    *including* references buried inside other replacement subtrees.  A
+    replacement may legitimately contain the very node it replaces (rules
+    such as (8) wrap the matched operator); that self-reference is kept
+    verbatim instead of being replaced again, which is what the ``banned``
+    set tracks.
+
+    Rewriting inside replacements matters for multi-node substitution maps
+    (the key-join collapse returns one): a replacement that still references
+    the *old* version of another replaced node must see its new version, or
+    the plan ends up with two divergent copies of a shared operator — which
+    silently breaks every rewrite premise that relies on shared anchors
+    (``left_origin[0] is right_origin[0]``).
     """
-    memo: dict[int, Operator] = {}
+    #: ``reach(node)`` = the replacement keys reachable from ``node``.  Memo
+    #: keys below pair a node id with the *relevant* slice of the banned set
+    #: (``banned & reach``), so a node rebuilt in unrelated contexts still
+    #: resolves to one single object.
+    reach_memo: dict[int, frozenset[int]] = {}
 
-    def rebuild(node: Operator) -> Operator:
-        if id(node) in memo:
-            return memo[id(node)]
+    def reach(node: Operator) -> frozenset[int]:
+        cached = reach_memo.get(id(node))
+        if cached is not None:
+            return cached
+        acc: frozenset[int] = frozenset()
+        for child in node.children:
+            acc |= reach(child)
         if id(node) in replacements:
-            replacement = replacements[id(node)]
-            memo[id(node)] = replacement
-            return replacement
-        new_children = [rebuild(child) for child in node.children]
-        if all(new is old for new, old in zip(new_children, node.children)):
-            memo[id(node)] = node
-            return node
-        rebuilt = node.with_children(new_children)
-        memo[id(node)] = rebuilt
-        return rebuilt
+            acc |= frozenset((id(node),))
+        reach_memo[id(node)] = acc
+        return acc
 
-    return rebuild(root)
+    memo: dict[tuple[int, frozenset[int]], Operator] = {}
+
+    def rebuild(node: Operator, banned: frozenset[int]) -> Operator:
+        effective = banned & reach(node)
+        key = (id(node), effective)
+        if key in memo:
+            return memo[key]
+        if id(node) in replacements and id(node) not in banned:
+            result = rebuild(replacements[id(node)], banned | frozenset((id(node),)))
+        else:
+            new_children = [rebuild(child, effective) for child in node.children]
+            if all(new is old for new, old in zip(new_children, node.children)):
+                result = node
+            else:
+                result = node.with_children(new_children)
+        memo[key] = result
+        return result
+
+    return rebuild(root, frozenset())
 
 
 def replace_node(root: Operator, old: Operator, new: Operator) -> Operator:

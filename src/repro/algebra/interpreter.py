@@ -39,6 +39,7 @@ from repro.algebra.operators import (
     Cross,
     Distinct,
     DocTable,
+    GroupAggregate,
     Join,
     LiteralTable,
     Operator,
@@ -161,6 +162,8 @@ class PlanInterpreter:
             return self._evaluate(node.left).cross(self._evaluate(node.right))
         if isinstance(node, Join):
             return self._join(node)
+        if isinstance(node, GroupAggregate):
+            return self._group_aggregate(node)
         raise ExecutionError(f"cannot evaluate operator {type(node).__name__}")
 
     # -- join evaluation ----------------------------------------------------------
@@ -321,6 +324,59 @@ class PlanInterpreter:
             keyed.sort(key=lambda item: (item[0], item[1]))
             return [combined for _l, _r, combined in keyed]
         return rows
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def _group_aggregate(self, node: GroupAggregate) -> Table:
+        """Reference semantics of Aggr (shared by compiled and naive modes).
+
+        Child rows are deduplicated on (group, unit, value) — the argument
+        is a node sequence, so each node counts once per iteration — then
+        folded per loop row: ``count`` and ``sum`` complete empty groups
+        with 0; ``avg`` of a group without non-NULL values emits no row
+        (``fn:avg(())`` is the empty sequence).  NULL values are ignored by
+        ``sum``/``avg`` — SQL's discipline, which is what keeps this
+        operator bit-for-bit aligned with the pushed-down native aggregates
+        of the SQL configuration (a DISTINCT subquery under COUNT/SUM/AVG).
+        """
+        child = self._evaluate(node.child)
+        loop = self._evaluate(node.loop)
+        group_index = child.column_index(node.group_column)
+        unit_index = child.column_index(node.unit_column)
+        value_index = (
+            child.column_index(node.value_column) if node.value_column is not None else None
+        )
+        loop_group_index = loop.column_index(node.group_column)
+        groups: dict[object, list] = {}
+        seen: set[tuple] = set()
+        for row in child.rows:
+            identity = (
+                row[group_index],
+                row[unit_index],
+                None if value_index is None else row[value_index],
+            )
+            if identity in seen:
+                continue
+            seen.add(identity)
+            groups.setdefault(row[group_index], []).append(row)
+        rows: list[tuple] = []
+        for loop_row in loop.rows:
+            self._check_deadline()
+            members = groups.get(loop_row[loop_group_index], ())
+            if node.function == "count":
+                rows.append(loop_row + (len(members),))
+                continue
+            values = [
+                row[value_index]
+                for row in members
+                if row[value_index] is not None  # type: ignore[index]
+            ]
+            if node.function == "sum":
+                rows.append(loop_row + (sum(values) if values else 0,))
+            else:  # avg
+                if values:
+                    rows.append(loop_row + (sum(values) / len(values),))
+        return Table.unchecked(loop.columns + (node.item_column,), rows)
 
     # -- the seed's naive join, kept as the differential baseline -----------------
 

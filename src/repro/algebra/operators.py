@@ -313,6 +313,96 @@ class RowId(Operator):
         return f"# {self.column}"
 
 
+#: Aggregation functions of :class:`GroupAggregate`.
+AGGREGATE_FUNCTIONS = ("count", "sum", "avg")
+
+
+class GroupAggregate(Operator):
+    """Aggr — per-group aggregation of ``child`` rows against a ``loop``.
+
+    The loop-lifting AGGR rule's operator: ``loop`` holds one row per
+    iteration of the enclosing loop (its ``group_column`` is a key).  For
+    every loop row, the child rows with the same ``group_column`` value are
+    first deduplicated on ``(group_column, unit_column[, value_column])`` —
+    the aggregate's argument is a ddo'd *node sequence*, so each node
+    (``unit_column``) contributes once per iteration regardless of how many
+    bundle rows produced it — and then folded into one ``item_column``
+    value:
+
+    * ``count`` — the number of distinct units (0 when none);
+    * ``sum``   — the sum of their non-NULL ``value_column`` values (0 when
+      none, following ``fn:sum`` on the empty sequence);
+    * ``avg``   — their average; an iteration without any non-NULL value
+      produces **no output row** (``fn:avg(())`` is the empty sequence).
+
+    Owning the dedup identity makes the operator self-contained: upstream
+    rewrites may freely remove the argument's δ (the operator re-establishes
+    it) and prune every child column beyond group/unit/value.  The output
+    schema is ``loop.columns + (item_column,)`` — the loop's columns pass
+    through untouched, so isolation can widen the loop side (carry ordering
+    columns) without the operator standing in the way.  Matching SQL NULL
+    discipline, ``sum``/``avg`` ignore NULL values; this is what allows the
+    SQL back-end to run the same aggregation as native ``COUNT``/``SUM``/
+    ``AVG`` over a DISTINCT subquery.
+    """
+
+    __slots__ = ("function", "group_column", "unit_column", "value_column", "item_column")
+    symbol = "aggr"
+
+    def __init__(
+        self,
+        child: Operator,
+        loop: Operator,
+        function: str,
+        group_column: str = "iter",
+        unit_column: str = "item",
+        value_column: Optional[str] = None,
+        item_column: str = "item",
+    ):
+        if function not in AGGREGATE_FUNCTIONS:
+            raise AlgebraError(f"unknown aggregate function {function!r}")
+        if function == "count":
+            if value_column is not None:
+                raise AlgebraError("count aggregates units, not a value column")
+        elif value_column is None:
+            raise AlgebraError(f"{function} needs a value column")
+        needed = [group_column, unit_column] + ([value_column] if value_column else [])
+        _require_columns("aggr(child)", child.columns, needed)
+        _require_columns("aggr(loop)", loop.columns, [group_column])
+        if item_column in loop.columns:
+            raise AlgebraError(f"aggr: column {item_column!r} already present in the loop input")
+        super().__init__((child, loop), loop.columns + (item_column,))
+        self.function = function
+        self.group_column = group_column
+        self.unit_column = unit_column
+        self.value_column = value_column
+        self.item_column = item_column
+
+    @property
+    def child(self) -> Operator:
+        return self.children[0]
+
+    @property
+    def loop(self) -> Operator:
+        return self.children[1]
+
+    def with_children(self, children: Sequence[Operator]) -> "GroupAggregate":
+        child, loop = children
+        return GroupAggregate(
+            child,
+            loop,
+            self.function,
+            self.group_column,
+            self.unit_column,
+            self.value_column,
+            self.item_column,
+        )
+
+    def label(self) -> str:
+        argument = self.value_column if self.value_column else self.unit_column
+        return f"aggr {self.function}({argument}) % {self.group_column}"
+
+
 class RowRank(Operator):
     """ϱ — attach the row rank in ``column`` ordered by ``order_by``.
 

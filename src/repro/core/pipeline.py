@@ -112,11 +112,20 @@ class PlanCache:
       re-registration of documents (the :class:`~repro.core.session.Session`
       facade relies on this).
 
+    **Raw-source memo.** The cache also owns the source-text side-map
+    (raw ``(source, settings, isolation)`` memo key → plan cache key) that
+    lets byte-identical re-executions skip parse+normalize.  It lives
+    *inside* the cache so that source entries are evicted in lockstep with
+    the plans they point to: the previous per-processor map pruned purely
+    by size, so it could retain mappings to evicted plans while dropping
+    mappings to live ones — and :meth:`clear` left it populated entirely.
+
     **Thread safety.** Every operation (lookups, inserts, :meth:`clear`,
     :meth:`stats`) holds one internal lock, so concurrent workers see
     consistent LRU order and counters.  :meth:`clear` resets the counters
-    together with the entries — ``stats()`` never mixes the hit/miss
-    history of one cache generation with the size of another.
+    together with the entries *and* the source memo — ``stats()`` never
+    mixes the hit/miss history of one cache generation with the size of
+    another.
     """
 
     def __init__(self, maxsize: int = 128):
@@ -124,6 +133,10 @@ class PlanCache:
             raise ValueError("PlanCache needs a maxsize of at least 1")
         self.maxsize = maxsize
         self._entries: "OrderedDict[Hashable, CompilationResult]" = OrderedDict()
+        #: memo key (raw source + compilation configuration) -> cache key.
+        self._key_by_source: "OrderedDict[Hashable, Hashable]" = OrderedDict()
+        #: cache key -> memo keys pointing at it (for lockstep eviction).
+        self._sources_by_key: dict[Hashable, set[Hashable]] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -155,8 +168,57 @@ class PlanCache:
                 self._entries.move_to_end(key)
             self._entries[key] = value
             while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+                evicted_key, _entry = self._entries.popitem(last=False)
                 self.evictions += 1
+                self._drop_sources_of(evicted_key)
+
+    # -- the raw-source memo -------------------------------------------------------
+
+    def key_for_source(self, memo_key: Hashable) -> Optional[Hashable]:
+        """The cache key previously recorded for this raw source, if any.
+
+        A hit refreshes the entry's recency, so a hot source replayed among
+        many distinct texts is never the one the size bound prunes.
+        """
+        with self._lock:
+            cache_key = self._key_by_source.get(memo_key)
+            if cache_key is not None:
+                self._key_by_source.move_to_end(memo_key)
+            return cache_key
+
+    def remember_source(self, memo_key: Hashable, cache_key: Hashable) -> None:
+        """Record ``memo_key`` → ``cache_key``; bounded at 4x the plan LRU.
+
+        A no-op when the cache no longer holds ``cache_key`` (cleared or
+        evicted between the caller's ``put`` and this call) — the memo must
+        never map a source to a plan the cache cannot produce.
+        """
+        with self._lock:
+            if cache_key not in self._entries:
+                return
+            previous = self._key_by_source.pop(memo_key, None)
+            if previous is not None:
+                sources = self._sources_by_key.get(previous)
+                if sources is not None:
+                    sources.discard(memo_key)
+                    if not sources:
+                        del self._sources_by_key[previous]
+            self._key_by_source[memo_key] = cache_key
+            self._sources_by_key.setdefault(cache_key, set()).add(memo_key)
+            # Several formatting variants may share one plan; allow slack,
+            # evicting the stalest raw-source entries (never the plans).
+            while len(self._key_by_source) > 4 * self.maxsize:
+                stale_memo, stale_key = self._key_by_source.popitem(last=False)
+                sources = self._sources_by_key.get(stale_key)
+                if sources is not None:
+                    sources.discard(stale_memo)
+                    if not sources:
+                        del self._sources_by_key[stale_key]
+
+    def _drop_sources_of(self, cache_key: Hashable) -> None:
+        """Remove every memo entry pointing at an evicted plan (lock held)."""
+        for memo_key in self._sources_by_key.pop(cache_key, ()):
+            self._key_by_source.pop(memo_key, None)
 
     def clear(self) -> None:
         """Drop every entry *and* reset the counters.
@@ -164,10 +226,13 @@ class PlanCache:
         The seed dropped entries but kept ``hits``/``misses``/``evictions``,
         leaving ``stats()`` incoherent (non-zero traffic counters against a
         size that no request ever produced); a cleared cache now reports
-        like a fresh one.
+        like a fresh one.  The raw-source memo clears with it, so no source
+        can resolve to a plan from a previous cache generation.
         """
         with self._lock:
             self._entries.clear()
+            self._key_by_source.clear()
+            self._sources_by_key.clear()
             self.hits = 0
             self.misses = 0
             self.evictions = 0
@@ -181,6 +246,7 @@ class PlanCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "source_memo_size": len(self._key_by_source),
             }
 
 
@@ -238,16 +304,11 @@ class XQueryProcessor:
         )
         #: Keyed LRU of compilation results (see :class:`PlanCache` for the
         #: key contract).  May be shared between processors serving the same
-        #: logical catalog (e.g. across Session refreshes).
+        #: logical catalog (e.g. across Session refreshes).  It also owns
+        #: the raw-source memo (evicted in lockstep with the plans), so the
+        #: memo survives processor rebuilds and clears with the cache.
         # NB: an empty PlanCache is falsy (it has __len__), so test for None.
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache(plan_cache_size)
-        #: Source-text -> plan-cache-key memo: repeated ad-hoc execution of
-        #: the *same* text skips parse+normalize (the key computation) and
-        #: answers from the LRU in two dict lookups.  Bounded alongside the
-        #: plan cache; per-processor (compiler settings are fixed here);
-        #: guarded by :attr:`_memo_lock`.
-        self._key_by_source: "OrderedDict[tuple[str, tuple], Hashable]" = OrderedDict()
-        self._memo_lock = threading.Lock()
         #: The RDBMS behind ``configuration="sql"``; created lazily (first
         #: ``sql``/``sql-stacked`` use) unless a shared backend (e.g.
         #: Session-owned) was injected.
@@ -321,9 +382,12 @@ class XQueryProcessor:
         bounded by the number of racing threads.
         """
         isolation_key = _isolation_key(isolation)
-        memo_key = (source, isolation_key)
-        with self._memo_lock:
-            known_key = self._key_by_source.get(memo_key)
+        # The compiler settings are part of the memo key: the plan cache may
+        # be shared by processors with different settings (e.g. a different
+        # default document), and the same source text then compiles to
+        # different plans.
+        memo_key = (source, self.settings, isolation_key)
+        known_key = self.plan_cache.key_for_source(memo_key)
         if known_key is not None:
             cached = self.plan_cache.get(known_key)
             if cached is not None:
@@ -334,16 +398,17 @@ class XQueryProcessor:
         # core AST but different prologs (extra/unused or differently-typed
         # externals) have different binding interfaces.
         cache_key = (keyed.core, keyed.module.externals, self.settings, isolation_key)
-        with self._memo_lock:
-            self._key_by_source[memo_key] = cache_key
-            while len(self._key_by_source) > 4 * self.plan_cache.maxsize:
-                self._key_by_source.popitem(last=False)
         if known_key != cache_key:  # not already looked up (and missed) above
             cached = self.plan_cache.get(cache_key)
             if cached is not None:
+                self.plan_cache.remember_source(memo_key, cache_key)
                 return cached, False
         result = pipeline.build(keyed)
         self.plan_cache.put(cache_key, result)
+        # Remember the source only after the put: a memo entry must never
+        # point at a key the cache does not (yet) hold, or a concurrent
+        # clear() between the two writes could leave a dangling mapping.
+        self.plan_cache.remember_source(memo_key, cache_key)
         return result, True
 
     def prepare(

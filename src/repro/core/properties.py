@@ -36,6 +36,7 @@ from repro.algebra.operators import (
     Cross,
     Distinct,
     DocTable,
+    GroupAggregate,
     Join,
     LiteralTable,
     Operator,
@@ -121,7 +122,9 @@ class PlanProperties:
             child_properties.icols = child_properties.icols | _child_icols(
                 node, position, child, properties.icols
             )
-            child_properties.set = child_properties.set and _child_set(node, properties.set)
+            child_properties.set = child_properties.set and _child_set(
+                node, position, properties.set
+            )
 
 
 def infer_properties(root: Operator) -> PlanProperties:
@@ -157,6 +160,9 @@ def _infer_const(node: Operator, by_node: dict[int, "NodeProperties"]) -> dict[s
         combined = dict(by_node[id(node.children[0])].const)
         combined.update(by_node[id(node.children[1])].const)
         return combined
+    if isinstance(node, GroupAggregate):
+        # Loop columns pass through untouched; the aggregate value does not.
+        return dict(by_node[id(node.loop)].const)
     return {}
 
 
@@ -188,6 +194,9 @@ def _infer_keys(node: Operator, by_node: dict[int, "NodeProperties"]) -> frozens
         left = by_node[id(node.children[0])].keys
         right = by_node[id(node.children[1])].keys
         return frozenset({k1 | k2 for k1 in left for k2 in right})
+    if isinstance(node, GroupAggregate):
+        # At most one output row per loop row, loop column names unchanged.
+        return by_node[id(node.loop)].keys
     return frozenset()
 
 
@@ -274,12 +283,27 @@ def _child_icols(
         return (icols - {node.column}) & frozenset(child.columns)
     if isinstance(node, RowRank):
         return ((icols - {node.column}) | frozenset(node.order_by)) & frozenset(child.columns)
+    if isinstance(node, GroupAggregate):
+        if position == 0:  # the aggregated input
+            needed = {node.group_column, node.unit_column}
+            if node.value_column is not None:
+                needed.add(node.value_column)
+            return frozenset(needed)
+        # The loop: everything upstream needs except the aggregate value,
+        # plus the group column the aggregation itself keys on.
+        return ((icols - {node.item_column}) | {node.group_column}) & frozenset(child.columns)
     return icols & frozenset(child.columns)
 
 
-def _child_set(node: Operator, node_set: bool) -> bool:
+def _child_set(node: Operator, position: int, node_set: bool) -> bool:
     if isinstance(node, Distinct):
         return True
     if isinstance(node, Serialize):
         return False
+    if isinstance(node, GroupAggregate):
+        # The aggregation itself deduplicates its *argument* on
+        # (group, unit, value) — every column it keeps — so a δ below the
+        # child is redundant and removable.  The loop input's multiplicity
+        # is observed verbatim (one output row per loop row).
+        return position == 0
     return node_set

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import RewriteError
+from repro.errors import AlgebraError, RewriteError
 from repro.algebra.dag import iter_nodes, node_count, substitute
 from repro.algebra.operators import Operator, Serialize
 from repro.core.properties import infer_properties
@@ -140,7 +140,16 @@ class JoinGraphIsolation:
                 else:
                     replacements = {id(node): result}
                     replacement_label = result.label()
-                new_plan = substitute(plan, replacements)
+                try:
+                    new_plan = substitute(plan, replacements)
+                except AlgebraError:
+                    # The rewrite is locally sound but globally inapplicable:
+                    # rebuilding the DAG tripped an operator invariant (e.g.
+                    # a widened shared spine makes a far-away join's inputs
+                    # overlap).  The constructor checks are the exact global
+                    # premise — treat the application as not applicable and
+                    # keep scanning; the plan is unchanged.
+                    continue
                 record = RuleApplication(
                     rule=name,
                     target=node.label(),

@@ -29,6 +29,7 @@ All remaining rules ((1)-(8), (10), (12)-(14), (16), (17)) follow the paper.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -38,6 +39,7 @@ from repro.algebra.operators import (
     Cross,
     Distinct,
     DocTable,
+    GroupAggregate,
     Join,
     LiteralTable,
     Operator,
@@ -73,13 +75,19 @@ class RuleContext:
         self.properties = properties
         self.parents = parents_map(root)
         self._upstream_refs_memo: dict[int, frozenset[str]] = {}
+        self._compared_origins: Optional[set[tuple[int, str]]] = None
         self._fresh = 0
 
     # -- fresh names -------------------------------------------------------------
 
+    #: Process-wide counter: rule contexts are rebuilt after every rewrite
+    #: step, so a per-context counter would re-issue the same "fresh" names
+    #: step after step — and two widenings of one shared spine would then
+    #: collide on identical carry columns.
+    _fresh_columns = itertools.count(1)
+
     def fresh_column(self, hint: str = "carry") -> str:
-        self._fresh += 1
-        return f"{hint}_{self._fresh}"
+        return f"{hint}_w{next(self._fresh_columns)}"
 
     # -- column provenance ---------------------------------------------------------
 
@@ -106,6 +114,11 @@ class RuleContext:
                 if name == current.column:
                     return path
                 current = current.child
+                continue
+            if isinstance(current, GroupAggregate):
+                if name == current.item_column:
+                    return path  # the aggregate value is introduced here
+                current = current.loop  # loop columns pass through untouched
                 continue
             if isinstance(current, (Join, Cross)):
                 left, right = current.children
@@ -149,14 +162,49 @@ class RuleContext:
             refs |= set(parent.predicate.columns()) & child_columns
         elif isinstance(parent, RowRank):
             refs |= set(parent.order_by) & child_columns
+        elif isinstance(parent, GroupAggregate):
+            structural = {parent.group_column, parent.unit_column}
+            if parent.value_column is not None:
+                structural.add(parent.value_column)
+            refs |= structural & child_columns
         # Pass-through parents forward their own upstream references.
-        if isinstance(parent, (Select, Join, Cross, Distinct, Attach, RowId, RowRank, Serialize)):
+        if isinstance(
+            parent,
+            (Select, Join, Cross, Distinct, Attach, RowId, RowRank, GroupAggregate, Serialize),
+        ):
             refs |= self.upstream_refs(parent) & child_columns
         return refs
 
     def needed_columns(self, node: Operator) -> frozenset[str]:
         """``icols`` widened by structural upstream references."""
         return self.properties.icols(node) | self.upstream_refs(node)
+
+    def rank_compared_upstream(self, rank: "RowRank") -> bool:
+        """Does any σ/⋈ predicate in the plan compare this rank's column?
+
+        Positional predicates (``E[n]``) compile into a selection on the
+        sequence-position rank; for such a plan the rank is *not* a pure
+        ordering column, and rewrites that replace it by its ordering source
+        (rule (12)) would silently change which rows the selection keeps.
+        The scan over all predicates runs once per rewrite step (memoized).
+        """
+        if self._compared_origins is None:
+            from repro.algebra.dag import iter_nodes
+
+            compared: set[tuple[int, str]] = set()
+            for node in iter_nodes(self.root):
+                if isinstance(node, Select):
+                    bases = [node.child]
+                elif isinstance(node, Join):
+                    bases = list(node.children)
+                else:
+                    continue
+                for column in node.predicate.columns():
+                    base = next(b for b in bases if column in b.columns)
+                    origin_node, origin_column = self.origin(base, column)
+                    compared.add((id(origin_node), origin_column))
+            self._compared_origins = compared
+        return (id(rank), rank.column) in self._compared_origins
 
 
 #: A rule inspects one operator and either returns ``None`` (not applicable),
@@ -268,6 +316,11 @@ def rule_rank_to_project(node: Operator, ctx: RuleContext) -> Optional[Operator]
     exactly like its rank does.
     """
     if isinstance(node, RowRank) and len(node.order_by) == 1:
+        if ctx.rank_compared_upstream(node):
+            # A positional selection tests this rank's *value*; substituting
+            # the ordering column would select by node rank instead of by
+            # sequence position.
+            return None
         source = node.order_by[0]
         items = [(node.column, source)] + [(c, c) for c in node.child.columns]
         return Project(node.child, items)
@@ -461,8 +514,20 @@ def rule_rank_splice(node: Operator, ctx: RuleContext) -> Optional[Operator]:
 
 
 def _safe_spine(path: list[tuple[Operator, str]]) -> bool:
-    """True when every node strictly above the origin is row-preserving."""
-    return all(isinstance(op, _ROW_PRESERVING) for op, _name in path[:-1])
+    """True when every node strictly above the origin is row-preserving.
+
+    ``count``/``sum`` aggregations emit exactly one row per loop row (the
+    provenance path descends into the loop side), so they preserve rows;
+    ``avg`` drops empty groups and does not.
+    """
+    for op, _name in path[:-1]:
+        if isinstance(op, GroupAggregate):
+            if op.function == "avg":
+                return False
+            continue
+        if not isinstance(op, _ROW_PRESERVING):
+            return False
+    return True
 
 
 def _resolve_needed(
@@ -537,7 +602,13 @@ def _widen_chain(
             taken = {new for new, _old in items}
             extra: list[tuple[str, str]] = []
             for target in carries:
-                output = target if target not in taken else ctx.fresh_column(target)
+                # Always thread carries under fresh names: spine projections
+                # may be *shared* (other consumers see the widened copy), and
+                # surfacing the target name inside the spine would collide
+                # when a second widening carries the same column up a sibling
+                # branch.  Only the unshared top projection below surfaces
+                # the target names.
+                output = ctx.fresh_column(target)
                 while output in taken:
                     output = ctx.fresh_column(target)
                 taken.add(output)
@@ -594,26 +665,44 @@ def _foreign_parents_tolerate(
     return True
 
 
-def rule_key_join_collapse(node: Operator, ctx: RuleContext) -> Optional[Operator]:
-    """(9*)  collapse a join whose two join columns stem from the same key.
+def rule_key_join_collapse(node: Operator, ctx: RuleContext) -> RuleResult:
+    """(9*)  collapse a join on a column equality stemming from the same key.
 
-    ``A ⋈ a=b B`` is replaced by the *kept* side widened with the columns it
-    still needs from the *dropped* side when
+    ``A ⋈ a=b ∧ rest B`` is replaced by the *kept* side widened with the
+    columns it still needs from the *dropped* side (with ``rest`` — if any —
+    re-applied as a selection over the widened result) when
 
-    * both join columns trace back to the same column ``c`` of the same
+    * the two pivot columns trace back to the same column ``c`` of the same
       operator ``X`` (the anchor) with ``{c}`` a candidate key of ``X``,
     * the dropped side is a row-preserving column chain over ``X`` (so each
       kept row matches exactly the dropped row it originated from), and
-    * every dropped-side column still needed upstream is either a constant
-      or readable from ``X``'s output (it is then threaded up the kept
-      side's spine).
+    * every dropped-side column still needed upstream — including the ones
+      the residual conjuncts mention — is either a constant or readable from
+      ``X``'s output (it is then threaded up the kept side's spine).
 
     This subsumes the paper's Rule (9) and removes the FOR / IF equi-joins
     (Fig. 6) as well as the ``pre = item`` context joins against ``doc``.
+    The multi-conjunct form is what lets *value joins* (Section III-C)
+    collapse: their iteration-bookkeeping equality is the pivot and the
+    value comparison survives as an ordinary selection over the bundle.
     """
-    if not isinstance(node, Join) or not node.predicate.is_single_column_equality():
+    if not isinstance(node, Join):
         return None
-    (a, b) = node.predicate.column_equalities()[0]
+    for pivot in node.predicate.conjuncts:
+        if not pivot.is_column_equality():
+            continue
+        result = _try_key_join_collapse(node, ctx, pivot)
+        if result is not None:
+            return result
+    return None
+
+
+def _try_key_join_collapse(
+    node: Join, ctx: RuleContext, pivot: Comparison
+) -> RuleResult:
+    a = pivot.left.name  # type: ignore[union-attr]
+    b = pivot.right.name  # type: ignore[union-attr]
+    residual = [c for c in node.predicate.conjuncts if c is not pivot]
     left, right = node.children
     if a in right.columns:
         a, b = b, a
@@ -630,6 +719,8 @@ def rule_key_join_collapse(node: Operator, ctx: RuleContext) -> Optional[Operato
     if frozenset({anchor_column}) not in anchor_properties_keys:
         return None
     needed_all = ctx.needed_columns(node)
+    for conjunct in residual:
+        needed_all |= conjunct.columns()
     for dropped, kept, dropped_path, kept_column in (
         (right, left, right_path, a),
         (left, right, left_path, b),
@@ -657,6 +748,8 @@ def rule_key_join_collapse(node: Operator, ctx: RuleContext) -> Optional[Operato
         for column, (kind, value) in resolution.items():
             if kind == "const" and column not in result.columns:
                 result = Attach(result, column, value)
+        if residual:
+            result = Select(result, Predicate(residual))
         replacements: dict[int, Operator] = dict(substitutions)
         replacements[id(node)] = result
         return replacements

@@ -26,6 +26,7 @@ from repro.algebra.operators import (
     Cross,
     Distinct,
     DocTable,
+    GroupAggregate,
     Join,
     LiteralTable,
     Operator,
@@ -36,7 +37,7 @@ from repro.algebra.operators import (
     Serialize,
 )
 from repro.algebra.predicates import ColumnRef, Literal, Parameter, Predicate, Sum
-from repro.core.joingraph import JoinGraph, extract_join_graph
+from repro.core.joingraph import AggregateSpec, JoinGraph, extract_join_graph
 from repro.errors import JoinGraphError
 
 
@@ -50,25 +51,25 @@ def render_join_graph(graph: JoinGraph, join_order: Optional[Sequence[str]] = No
     caller hand the access-path order chosen by a cost-based planner to a
     back-end whose own search would not find it (the n-fold self-joins of
     Fig. 8/9 routinely exceed SQLite's join-reorder search horizon).
+
+    Graphs carrying an :class:`~repro.core.joingraph.AggregateSpec` render
+    as a native ``COUNT``/``SUM``/``AVG`` block — ``GROUP BY`` over the
+    pre/level encoding for the nested form, a scalar aggregate for the
+    top-level form — with no decode-side re-aggregation.
     """
+    if join_order is not None and sorted(join_order) != sorted(graph.aliases):
+        raise JoinGraphError(
+            f"join_order {list(join_order)} is not a permutation of the "
+            f"graph's aliases {graph.aliases}"
+        )
+    if graph.aggregate is not None:
+        return _render_aggregate_join_graph(graph, join_order)
     distinct = "DISTINCT " if graph.distinct else ""
     select_list = ",\n       ".join(
         f"{term.render()} AS {name}" for term, name in graph.select_items
     )
     lines = [f"SELECT {distinct}{select_list}"]
-    if join_order is not None:
-        if sorted(join_order) != sorted(graph.aliases):
-            raise JoinGraphError(
-                f"join_order {list(join_order)} is not a permutation of the "
-                f"graph's aliases {graph.aliases}"
-            )
-        from_list = "\n     CROSS JOIN ".join(
-            f"{graph.table_name} AS {alias}" for alias in join_order
-        )
-    else:
-        from_list = ",\n     ".join(
-            f"{graph.table_name} AS {alias}" for alias in graph.aliases
-        )
+    from_list = _render_from(graph.table_name, graph.aliases, join_order)
     if graph.aliases:
         lines.append(f"FROM {from_list}")
     if graph.conditions:
@@ -78,6 +79,126 @@ def render_join_graph(graph: JoinGraph, join_order: Optional[Sequence[str]] = No
         order = ", ".join(term.render() for term in graph.order_terms)
         lines.append(f"ORDER BY {order}")
     return "\n".join(lines)
+
+
+def _render_from(
+    table_name: str, aliases: Sequence[str], join_order: Optional[Sequence[str]]
+) -> str:
+    if join_order is not None:
+        ordered = [alias for alias in join_order if alias in set(aliases)]
+        return "\n     CROSS JOIN ".join(f"{table_name} AS {alias}" for alias in ordered)
+    return ",\n     ".join(f"{table_name} AS {alias}" for alias in aliases)
+
+
+def _render_aggregate_join_graph(
+    graph: JoinGraph, join_order: Optional[Sequence[str]]
+) -> str:
+    """The pushed-down aggregate block (Section III-C widening).
+
+    * **scalar** (top-level ``fn:count(...)``): one aggregate over the
+      (optionally DISTINCT-deduplicated) bundle subquery;
+    * **nested** (``for $v ... return fn:count(...)``): the outer iteration
+      bundle LEFT JOINed to the argument bundle, ``GROUP BY`` the iteration
+      identity — ``COUNT`` counts matched rows (0 for empty groups), ``SUM``
+      completes empty groups via COALESCE, ``AVG`` leaves them NULL (the
+      decode's "empty sequence" marker).
+    """
+    spec = graph.aggregate
+    assert spec is not None
+    inner_conditions = graph.conditions
+    inner_sql = _render_aggregate_inner(graph, spec, inner_conditions, join_order)
+    if spec.is_scalar:
+        aggregate = _aggregate_expression(spec, "i")
+        return f"SELECT {aggregate} AS item\nFROM ({inner_sql}) AS i"
+    outer_aliases = graph.aliases[: spec.outer_alias_count]
+    outer_conditions = graph.conditions[: spec.outer_condition_count]
+    outer_items: list[tuple] = [(spec.group, "g")]
+    outer_names = {spec.group: "g"}
+    for term, name in graph.select_items[1:]:
+        if term not in outer_names:
+            outer_names[term] = name
+            outer_items.append((term, name))
+    outer_select = ", ".join(f"{term.render()} AS {name}" for term, name in outer_items)
+    outer_distinct = "DISTINCT " if spec.outer_distinct else ""
+    outer_lines = [f"SELECT {outer_distinct}{outer_select}"]
+    outer_lines.append(f"FROM {_render_from(graph.table_name, outer_aliases, join_order)}")
+    if outer_conditions:
+        outer_lines.append(
+            "WHERE " + "\n  AND ".join(condition.render() for condition in outer_conditions)
+        )
+    outer_sql = "\n".join(outer_lines)
+    aggregate = _aggregate_expression(spec, "i")
+    select_list = [f"{aggregate} AS item"]
+    for term, name in graph.select_items[1:]:
+        select_list.append(f"o.{outer_names[term]} AS {name}")
+    group_by = ", ".join(f"o.{name}" for _term, name in outer_items)
+    order_by = ", ".join(f"o.{outer_names[term]}" for term in graph.order_terms)
+    lines = [
+        f"SELECT {', '.join(select_list)}",
+        f"FROM ({outer_sql}) AS o",
+        f"LEFT JOIN ({inner_sql}) AS i ON i.g = o.g",
+        f"GROUP BY {group_by}",
+    ]
+    if order_by:
+        lines.append(f"ORDER BY {order_by}")
+    return "\n".join(lines)
+
+
+def aggregate_inner_items(spec: AggregateSpec) -> tuple[list[tuple], str, Optional[str]]:
+    """The inner bundle's select list, the COUNT column, the value column.
+
+    Returns ``(items, count_column, value_column)`` where ``items`` is the
+    ``(term, name)`` select list of the argument subquery: the group
+    identity (``g``), the unit (``u`` — the argument node's ``pre``), and
+    the aggregated value (``v``) — each distinct term named once.  The
+    subquery is always rendered ``DISTINCT`` over these columns (the
+    operator's dedup-own semantics).  The COUNT column is never NULL per
+    real row, which is what makes ``COUNT(i.<col>)`` over a LEFT JOIN
+    report 0 for empty groups.  Shared with the relational engine so the
+    interpreted and RDBMS aggregations read the same columns.
+    """
+    items: list[tuple] = [(spec.child_group, "g")]
+
+    def resolve(term, fallback_name: str) -> str:
+        for existing, name in items:
+            if existing == term:
+                return name
+        items.append((term, fallback_name))
+        return fallback_name
+
+    count_column = resolve(spec.unit, "u")
+    value_column: Optional[str] = None
+    if spec.value is not None:
+        value_column = resolve(spec.value, "v")
+    return items, count_column, value_column
+
+
+def _render_aggregate_inner(
+    graph: JoinGraph,
+    spec: AggregateSpec,
+    conditions: Sequence,
+    join_order: Optional[Sequence[str]],
+) -> str:
+    """The argument bundle: all aliases, all conditions, the agg's inputs."""
+    items, _count_column, _value_column = aggregate_inner_items(spec)
+    select = ", ".join(f"{term.render()} AS {name}" for term, name in items)
+    lines = [f"SELECT DISTINCT {select}"]
+    lines.append(f"FROM {_render_from(graph.table_name, graph.aliases, join_order)}")
+    if conditions:
+        lines.append(
+            "WHERE " + "\n  AND ".join(condition.render() for condition in conditions)
+        )
+    return "\n".join(lines)
+
+
+def _aggregate_expression(spec: AggregateSpec, alias: str) -> str:
+    """The native aggregate over the inner subquery's output columns."""
+    _items, count_column, value_column = aggregate_inner_items(spec)
+    if spec.function == "count":
+        return f"COUNT({alias}.{count_column})"
+    if spec.function == "sum":
+        return f"COALESCE(SUM({alias}.{value_column}), 0)"
+    return f"AVG({alias}.{value_column})"
 
 
 def generate_join_graph_sql(plan: Operator, table_name: str = "doc") -> str:
@@ -174,6 +295,36 @@ def _render_operator(node: Operator, name_of, table_name: str) -> str:
         )
     if isinstance(node, Cross):
         return f"SELECT * FROM {name_of(node.left)}, {name_of(node.right)}"
+    if isinstance(node, GroupAggregate):
+        # One output row per loop row with the group's native aggregate over
+        # the DISTINCT (group, unit, value) rows of the argument; the LEFT
+        # JOIN completes empty groups (COUNT -> 0, SUM -> COALESCE 0);
+        # fn:avg over an empty group is the empty sequence, hence the HAVING.
+        loop_columns = ", ".join(f"l.{column} AS {column}" for column in node.loop.columns)
+        group_by = ", ".join(f"l.{column}" for column in node.loop.columns)
+        argument_columns = [node.group_column, node.unit_column]
+        if node.value_column is not None:
+            argument_columns.append(node.value_column)
+        argument = (
+            "SELECT DISTINCT "
+            + ", ".join(argument_columns)
+            + f" FROM {name_of(node.child)}"
+        )
+        if node.function == "count":
+            aggregate = f"COUNT(c.{node.unit_column})"
+            having = ""
+        elif node.function == "sum":
+            aggregate = f"COALESCE(SUM(c.{node.value_column}), 0)"
+            having = ""
+        else:
+            aggregate = f"AVG(c.{node.value_column})"
+            having = f" HAVING AVG(c.{node.value_column}) IS NOT NULL"
+        return (
+            f"SELECT {loop_columns}, {aggregate} AS {node.item_column} "
+            f"FROM {name_of(node.loop)} AS l "
+            f"LEFT JOIN ({argument}) AS c ON c.{node.group_column} = l.{node.group_column} "
+            f"GROUP BY {group_by}{having}"
+        )
     raise TypeError(f"cannot render operator {type(node).__name__}")
 
 

@@ -49,7 +49,7 @@ from repro.core.sqlgen import generate_stacked_sql, render_join_graph
 from repro.relational.catalog import Database
 from repro.relational.engine import QueryResult, RelationalEngine
 from repro.sqlbackend.backend import SQLiteBackend, SQLResult
-from repro.sqlbackend.decode import ordered_items, sequence_items
+from repro.sqlbackend.decode import first_occurrence_items, ordered_items, sequence_items
 from repro.xmldb.encoding import DocumentEncoding
 from repro.xquery.ast import (
     Expression,
@@ -468,7 +468,7 @@ def run_join_graph(
             bindings=values or None,
         )
     with _timed(timings, "decode"):
-        items = [item for item in result.items()]
+        items = first_occurrence_items(result.items())
     return ExecutionOutcome(
         items=items,
         configuration="join-graph",

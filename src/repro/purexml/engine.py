@@ -35,11 +35,17 @@ from repro.xquery.parser import parse_module
 
 @dataclass
 class PureXMLResult:
-    """Result of one pureXML evaluation."""
+    """Result of one pureXML evaluation.
+
+    ``nodes`` holds the result nodes; ``values`` the atomic items the query
+    produced alongside them (aggregate results such as ``fn:count(...)`` —
+    numbers, in sequence order).
+    """
 
     nodes: list[XMLNode]
     rows_visited: int
     used_index: Optional[str] = None
+    values: list = field(default_factory=list)
 
     @property
     def node_count(self) -> int:
@@ -90,6 +96,7 @@ class PureXMLEngine:
         deadline = started + timeout_seconds if timeout_seconds else None
         candidate_rids, used_index = self._xiscan(expr)
         nodes: list[XMLNode] = []
+        values: list = []
         visited = 0
         for rid in sorted(candidate_rids):
             if deadline is not None and time.perf_counter() > deadline:
@@ -100,7 +107,11 @@ class PureXMLEngine:
             for item in scan.evaluate(expr):
                 if isinstance(item, XMLNode):
                     nodes.append(item)
-        return PureXMLResult(nodes=nodes, rows_visited=visited, used_index=used_index)
+                elif isinstance(item, (int, float)) and not isinstance(item, bool):
+                    values.append(item)
+        return PureXMLResult(
+            nodes=nodes, rows_visited=visited, used_index=used_index, values=values
+        )
 
     # -- XISCAN: index eligibility and lookup ---------------------------------------------
 

@@ -71,7 +71,36 @@ class XScan:
             return self._document_order(result)
         if isinstance(expr, ast.Filter):
             context = self.evaluate(expr.input, env)
+            if isinstance(expr.predicate, ast.NumberLiteral):
+                # Numeric predicate == positional test (position() = n).
+                position = expr.predicate.value
+                if float(position).is_integer() and 1 <= int(position) <= len(context):
+                    return [context[int(position) - 1]]
+                return []
             return [node for node in context if self._boolean(expr.predicate, env, node)]
+        if isinstance(expr, ast.PositionFilter):
+            context = self.evaluate(expr.sequence, env)
+            if expr.parameter is not None:
+                raise PureXMLError(
+                    f"positional parameter ${expr.parameter} is unbound; bind it "
+                    "before XSCAN evaluation"
+                )
+            position = expr.position
+            if (
+                position is not None
+                and float(position).is_integer()
+                and 1 <= int(position) <= len(context)
+            ):
+                return [context[int(position) - 1]]
+            return []
+        if isinstance(expr, ast.Aggregate):
+            sequence = self.evaluate(expr.argument, env)
+            if expr.function == "count":
+                return [len(sequence)]
+            values = self._atomize_numeric(sequence)
+            if expr.function == "sum":
+                return [sum(values) if values else 0]
+            return [sum(values) / len(values)] if values else []  # avg(()) = ()
         if isinstance(expr, ast.ForExpr):
             sequence = self.evaluate(expr.sequence, env)
             result = []
@@ -192,6 +221,24 @@ class XScan:
             rewritten = _replace_context(expr)
             return scan.evaluate(rewritten, env)
         return self.evaluate(expr, env)
+
+    @staticmethod
+    def _atomize_numeric(values: list) -> list:
+        """Numeric atomization mirroring the encoding's ``data`` column.
+
+        Nodes whose string value does not parse as a number contribute
+        nothing (SQL's NULL discipline: ``SUM``/``AVG`` ignore them), so a
+        navigational aggregate matches the relational configurations.
+        """
+        numbers = []
+        for value in values:
+            if isinstance(value, XMLNode):
+                value = value.string_value()
+            try:
+                numbers.append(float(value))  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                continue
+        return numbers
 
     @staticmethod
     def _atomize(values: list) -> list:

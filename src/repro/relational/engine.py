@@ -26,7 +26,8 @@ from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from repro.errors import PlanningError
-from repro.core.joingraph import JoinGraph
+from repro.core.joingraph import JoinGraph, PlanTail
+from repro.core.sqlgen import aggregate_inner_items
 from repro.relational.catalog import Database
 from repro.relational.optimizer.planner import PlannedQuery, Planner
 from repro.relational.physical.operators import ExecutionContext
@@ -73,15 +74,29 @@ class RelationalEngine:
         Planning happens *after* parameter binding, so access-path selection
         and join ordering see the concrete values (the paper's Fig. 11 plan
         for Q2 starts at the ``price > 500`` selection for exactly this
-        reason).
+        reason).  For a graph with a pushed-down aggregate the plan covers
+        the *inner* bundle — the join-heavy part :meth:`execute` runs and
+        whose join order the SQL rendering pins; the aggregation/completion
+        tail is described by :meth:`explain`.
         """
-        return self.planner.plan(self._resolve(graph, bindings))
+        resolved = self._resolve(graph, bindings)
+        if resolved.aggregate is not None:
+            return self.planner.plan(self._aggregate_inner_graph(resolved))
+        return self.planner.plan(resolved)
 
     def explain(
         self, graph: JoinGraph, bindings: Optional[Mapping[str, object]] = None
     ) -> str:
         """DB2-style textual explain of the chosen execution plan."""
-        return self.plan(graph, bindings).explain()
+        resolved = self._resolve(graph, bindings)
+        if resolved.aggregate is None:
+            return self.planner.plan(resolved).explain()
+        spec = resolved.aggregate
+        inner = self.planner.plan(self._aggregate_inner_graph(resolved)).explain()
+        grouping = "scalar" if spec.is_scalar else f"GROUP BY {spec.group.render()}"
+        lines = [f"AGGREGATE {spec.function.upper()} [{grouping}]"]
+        lines.extend("  " + line for line in inner.splitlines())
+        return "\n".join(lines)
 
     def execute(
         self,
@@ -90,7 +105,10 @@ class RelationalEngine:
         bindings: Optional[Mapping[str, object]] = None,
     ) -> QueryResult:
         """Plan and execute ``graph``; raises ``QueryTimeoutError`` on budget overrun."""
-        planned = self.plan(graph, bindings)
+        resolved = self._resolve(graph, bindings)
+        if resolved.aggregate is not None:
+            return self._execute_aggregate(resolved, timeout_seconds)
+        planned = self.planner.plan(resolved)
         ctx = ExecutionContext(timeout_seconds)
         rows = list(planned.root.results(ctx))
         return QueryResult(
@@ -98,4 +116,94 @@ class RelationalEngine:
             plan=planned,
             rows_scanned=ctx.rows_scanned,
             index_probes=ctx.index_probes,
+        )
+
+    # -- aggregate graphs ---------------------------------------------------------
+
+    @staticmethod
+    def _aggregate_inner_graph(graph: JoinGraph) -> JoinGraph:
+        """The argument bundle as a plain join graph (all aliases/conditions,
+        deduplicated on the aggregate's (group, unit, value) identity)."""
+        spec = graph.aggregate
+        assert spec is not None
+        items, _count_column, _value_column = aggregate_inner_items(spec)
+        return JoinGraph(
+            aliases=list(graph.aliases),
+            table_name=graph.table_name,
+            conditions=list(graph.conditions),
+            select_items=list(items),
+            order_terms=[],
+            distinct=True,  # the operator owns its (group, unit, value) dedup
+            tail=PlanTail(distinct=True, order_terms=[], output_column="g"),
+        )
+
+    def _execute_aggregate(
+        self, graph: JoinGraph, timeout_seconds: Optional[float]
+    ) -> QueryResult:
+        """Execute a graph whose tail aggregates the bundle.
+
+        Mirrors the SQL rendering's two-level shape on the in-tree operators:
+        the *inner* bundle (all aliases/conditions, deduplicated on the δ
+        identity when the argument was ddo'd) is planned and executed once,
+        then folded per group; the *outer* bundle supplies the iteration rows
+        — including iterations with no argument rows at all (count/sum
+        complete them with 0, avg drops them).
+        """
+        spec = graph.aggregate
+        assert spec is not None
+        _items, _count_column, value_column = aggregate_inner_items(spec)
+        planned_inner = self.planner.plan(self._aggregate_inner_graph(graph))
+        inner_ctx = ExecutionContext(timeout_seconds)
+        inner_rows = list(planned_inner.root.results(inner_ctx))
+
+        def fold(rows: list[dict[str, object]]) -> Optional[object]:
+            if spec.function == "count":
+                return len(rows)
+            values = [row[value_column] for row in rows if row[value_column] is not None]
+            if spec.function == "sum":
+                return sum(values) if values else 0
+            return sum(values) / len(values) if values else None  # avg(()) = ()
+
+        if spec.is_scalar:
+            value = fold(inner_rows)
+            rows = [] if value is None else [{"item": value}]
+            return QueryResult(
+                rows=rows,
+                plan=planned_inner,
+                rows_scanned=inner_ctx.rows_scanned,
+                index_probes=inner_ctx.index_probes,
+            )
+        extra_items = list(graph.select_items[1:])
+        outer_graph = JoinGraph(
+            aliases=graph.aliases[: spec.outer_alias_count],
+            table_name=graph.table_name,
+            conditions=graph.conditions[: spec.outer_condition_count],
+            select_items=[(spec.group, "g")] + extra_items,
+            order_terms=list(graph.order_terms),
+            distinct=spec.outer_distinct,
+            tail=PlanTail(
+                distinct=spec.outer_distinct,
+                order_terms=list(graph.order_terms),
+                output_column="g",
+            ),
+        )
+        planned_outer = self.planner.plan(outer_graph)
+        outer_ctx = ExecutionContext(timeout_seconds)
+        groups: dict[object, list[dict[str, object]]] = {}
+        for row in inner_rows:
+            groups.setdefault(row["g"], []).append(row)
+        rows = []
+        for outer_row in planned_outer.root.results(outer_ctx):
+            value = fold(groups.get(outer_row["g"], []))
+            if value is None:
+                continue
+            produced: dict[str, object] = {"item": value}
+            for _term, name in extra_items:
+                produced[name] = outer_row[name]
+            rows.append(produced)
+        return QueryResult(
+            rows=rows,
+            plan=planned_outer,
+            rows_scanned=inner_ctx.rows_scanned + outer_ctx.rows_scanned,
+            index_probes=inner_ctx.index_probes + outer_ctx.index_probes,
         )

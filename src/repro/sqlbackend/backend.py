@@ -406,18 +406,28 @@ class SQLiteBackend:
     ) -> SQLResult:
         values = dict(bindings or {})
         started = time.perf_counter()
+        #: Set by the progress handler the instant it aborts the statement.
+        #: The except-clause keys on this flag, *not* on the error text — an
+        #: ordinary OperationalError whose message merely contains the word
+        #: "interrupt" (say, ``no such table: interrupt_log``) must surface
+        #: as-is, never be misreported as a timeout.
+        interrupted = False
         if timeout_seconds is not None:
             deadline = started + timeout_seconds
 
             def _over_budget() -> int:
-                return 1 if time.perf_counter() > deadline else 0
+                nonlocal interrupted
+                if time.perf_counter() > deadline:
+                    interrupted = True
+                    return 1
+                return 0
 
             connection.set_progress_handler(_over_budget, _PROGRESS_INTERVAL)
         try:
             cursor = connection.execute(sql, values)
             rows = cursor.fetchall()
-        except sqlite3.OperationalError as error:
-            if timeout_seconds is not None and "interrupt" in str(error).lower():
+        except sqlite3.OperationalError:
+            if interrupted:
                 raise QueryTimeoutError(
                     timeout_seconds, time.perf_counter() - started
                 ) from None

@@ -62,8 +62,31 @@ def ordered_items(columns: Sequence[str], rows: Sequence[Sequence[object]]) -> l
     """Project the ``item`` column of an already ordered/distinct result.
 
     The join-graph SFW block made the RDBMS enforce ``DISTINCT`` (over the
-    full select list) and ``ORDER BY``; the decode step is a projection,
-    exactly like the relational engine's RETURN operator.
+    full select list) and ``ORDER BY``; the decode step projects the item
+    column in row order and keeps each item's *first* occurrence.  The
+    keep-first pass matters for FLWOR nests whose select list carries extra
+    ordering columns (value joins bind the same node under several outer
+    iterations): SQL's DISTINCT dedupes full rows, the XQuery sequence
+    dedupes items.  ``NULL`` items are dropped — a ``pre`` rank is never
+    NULL; aggregate tails use NULL for "this iteration contributes no item"
+    (``fn:avg`` over an empty sequence).
     """
     item_index = list(columns).index("item")
-    return [row[item_index] for row in rows]
+    return first_occurrence_items(row[item_index] for row in rows)
+
+
+def first_occurrence_items(values) -> list:
+    """Keep the first occurrence of each non-NULL item, preserving order.
+
+    Shared by :func:`ordered_items` (the RDBMS path) and the interpreted
+    join-graph decode in :mod:`repro.core.stages`, so the two tails cannot
+    drift apart.
+    """
+    seen: set[object] = set()
+    items: list = []
+    for value in values:
+        if value is None or value in seen:
+            continue
+        seen.add(value)
+        items.append(value)
+    return items

@@ -171,6 +171,23 @@ class LetExpr(Expression):
 
 
 @dataclass(frozen=True)
+class PositionFilter(Expression):
+    """``sequence[n]`` — the item at sequence position ``n`` (core form).
+
+    The normalizer emits this for numeric predicates (``//item[2]``): XPath
+    treats a numeric predicate value as a ``position() = n`` test, not as an
+    effective boolean value.  ``position`` carries a literal position;
+    ``parameter`` the name of a numeric external variable whose value
+    arrives at execution time (``//item[$n]``) — exactly one of the two is
+    set.
+    """
+
+    sequence: Expression
+    position: Optional[float] = None
+    parameter: Optional[str] = None
+
+
+@dataclass(frozen=True)
 class IfExpr(Expression):
     """``if (condition) then then_branch else ()`` — the fragment's conditional."""
 
@@ -193,6 +210,26 @@ class Comparison(Expression):
     left: Expression
     op: str
     right: Expression
+
+
+#: The aggregate functions of the widened fragment (Section III-C workloads:
+#: XMark Q8-Q12 and Q20 count/sum/avg over bound sequences).
+AGGREGATE_FUNCTIONS = ("count", "sum", "avg")
+
+
+@dataclass(frozen=True)
+class Aggregate(Expression):
+    """``fn:count(argument)`` / ``fn:sum`` / ``fn:avg`` over a sequence.
+
+    ``function`` is one of :data:`AGGREGATE_FUNCTIONS`.  Aggregates follow
+    SQL's NULL discipline over the ``data`` column of the encoding (nodes
+    without a numeric value are ignored by ``sum``/``avg``), which is what
+    lets the SQL configuration push them down as native ``COUNT``/``SUM``/
+    ``AVG`` without a Python-side re-aggregation.
+    """
+
+    function: str
+    argument: Expression
 
 
 @dataclass(frozen=True)
@@ -258,6 +295,11 @@ def render(expr: Expression, indent: int = 0) -> str:
         return f"{render(expr.left)} and {render(expr.right)}"
     if isinstance(expr, Comparison):
         return f"{render(expr.left)} {expr.op} {render(expr.right)}"
+    if isinstance(expr, PositionFilter):
+        position = f"${expr.parameter}" if expr.parameter else render(NumberLiteral(expr.position))
+        return f"{render(expr.sequence)}[{position}]"
+    if isinstance(expr, Aggregate):
+        return f"fn:{expr.function}({render(expr.argument)})"
     if isinstance(expr, FnBoolean):
         return f"fn:boolean({render(expr.argument)})"
     if isinstance(expr, FsDdo):
@@ -281,6 +323,10 @@ def child_expressions(expr: Expression) -> tuple[Expression, ...]:
         return (expr.left, expr.right)
     if isinstance(expr, Comparison):
         return (expr.left, expr.right)
+    if isinstance(expr, PositionFilter):
+        return (expr.sequence,)
+    if isinstance(expr, Aggregate):
+        return (expr.argument,)
     if isinstance(expr, FnBoolean):
         return (expr.argument,)
     if isinstance(expr, FsDdo):
@@ -403,6 +449,14 @@ def rewrite_variables(
             expr.op,
             rewrite_variables(expr.right, rewrite, shadowed),
         )
+    if isinstance(expr, PositionFilter):
+        return PositionFilter(
+            rewrite_variables(expr.sequence, rewrite, shadowed),
+            expr.position,
+            expr.parameter,
+        )
+    if isinstance(expr, Aggregate):
+        return Aggregate(expr.function, rewrite_variables(expr.argument, rewrite, shadowed))
     if isinstance(expr, FnBoolean):
         return FnBoolean(rewrite_variables(expr.argument, rewrite, shadowed))
     if isinstance(expr, FsDdo):

@@ -33,6 +33,7 @@ from repro.algebra.operators import (
     Cross,
     Distinct,
     DocTable,
+    GroupAggregate,
     Join,
     LiteralTable,
     Operator,
@@ -142,6 +143,10 @@ class LoopLiftingCompiler:
             return self._compile(expr.argument, env, loop)
         if isinstance(expr, ast.Comparison):
             return self._compile_comparison(expr, env, loop)
+        if isinstance(expr, ast.PositionFilter):
+            return self._compile_position_filter(expr, env, loop)
+        if isinstance(expr, ast.Aggregate):
+            return self._compile_aggregate(expr, env, loop)
         if isinstance(expr, ast.EmptySequence):
             return LiteralTable(ITER_POS_ITEM, [])
         if isinstance(expr, (ast.StringLiteral, ast.NumberLiteral)):
@@ -291,6 +296,52 @@ class LoopLiftingCompiler:
         new_env[expr.var] = bound
         return self._compile(expr.body, new_env, loop)
 
+    # Rule POS (positional predicates ``E[n]`` beyond the range-join form).
+    def _compile_position_filter(
+        self, expr: ast.PositionFilter, env: Mapping[str, Operator], loop: Operator
+    ) -> Operator:
+        q = self._compile(expr.sequence, env, loop)
+        position: "Literal | Parameter"
+        if expr.parameter is not None:
+            position = Parameter(expr.parameter)
+        else:
+            value = expr.position
+            if value is None or not float(value).is_integer():
+                # A non-integral position() test never holds.
+                return LiteralTable(ITER_POS_ITEM, [])
+            position = Literal(int(value))
+        selected = Select(q, Predicate.of(AlgComparison(ColumnRef("pos"), "=", position)))
+        # The selected item is a singleton per iteration: its position is 1.
+        return Attach(Project(selected, [("iter", "iter"), ("item", "item")]), "pos", 1)
+
+    # Rule AGGR (fn:count / fn:sum / fn:avg, Section III-C).
+    def _compile_aggregate(
+        self, expr: ast.Aggregate, env: Mapping[str, Operator], loop: Operator
+    ) -> Operator:
+        q = self._compile(expr.argument, env, loop)
+        suffix = self._fresh_suffix()
+        if expr.function == "count":
+            child: Operator = Project(q, [("iter", "iter"), ("item", "item")])
+            value_column = None
+        else:
+            # sum/avg aggregate the numeric ``data`` column of the nodes the
+            # argument evaluates to; the pre = item context join collapses
+            # into the argument's own doc alias during isolation.
+            value_column = f"data{suffix}"
+            atomized = Join(self.doc, q, Predicate.equality("pre", "item"))
+            child = Project(
+                atomized, [("iter", "iter"), ("item", "item"), (value_column, "data")]
+            )
+        aggregated = GroupAggregate(
+            child,
+            loop,
+            expr.function,
+            group_column="iter",
+            unit_column="item",
+            value_column=value_column,
+        )
+        return Attach(aggregated, "pos", 1)
+
     # Rule COMP (and its value-join extension).
     _LITERAL_OPERANDS = (ast.StringLiteral, ast.NumberLiteral, ast.ExternalVar)
 
@@ -303,6 +354,18 @@ class LoopLiftingCompiler:
             raise XQueryCompilationError(
                 "comparisons between two literals / external variables are not supported"
             )
+        left_aggregate = isinstance(expr.left, ast.Aggregate)
+        right_aggregate = isinstance(expr.right, ast.Aggregate)
+        if left_aggregate or right_aggregate:
+            if right_aggregate and not left_aggregate:
+                aggregate, other, op = expr.right, expr.left, _flip(expr.op)
+            else:
+                aggregate, other, op = expr.left, expr.right, expr.op
+            if not isinstance(other, self._LITERAL_OPERANDS):
+                raise XQueryCompilationError(
+                    "aggregates compare against literals or external variables only"
+                )
+            return self._compile_aggregate_comparison(aggregate, op, other, env, loop)  # type: ignore[arg-type]
         if left_literal or right_literal:
             if right_literal:
                 node_expr, literal, op = expr.left, expr.right, expr.op
@@ -333,6 +396,31 @@ class LoopLiftingCompiler:
         else:
             column, value_term = "value", Literal(literal.value)  # type: ignore[union-attr]
         selected = Select(atomized, Predicate.of(AlgComparison(ColumnRef(column), op, value_term)))
+        per_iteration = Distinct(Project(selected, [("iter", "iter")]))
+        return Attach(Attach(per_iteration, "pos", 1), "item", 1)
+
+    def _compile_aggregate_comparison(
+        self,
+        aggregate: "ast.Aggregate",
+        op: str,
+        literal: ast.Expression,
+        env: Mapping[str, Operator],
+        loop: Operator,
+    ) -> Operator:
+        """``count($x) > 2`` — the aggregate's value compares directly.
+
+        Unlike node operands, an aggregate's ``item`` column already *is*
+        the comparison value — no atomization join against ``doc``.
+        """
+        q = self._compile_aggregate(aggregate, env, loop)
+        value_term: "Literal | Parameter"
+        if isinstance(literal, ast.ExternalVar):
+            value_term = Parameter(literal.name)
+        elif isinstance(literal, ast.NumberLiteral):
+            value_term = Literal(literal.value)
+        else:
+            value_term = Literal(literal.value)  # type: ignore[union-attr]
+        selected = Select(q, Predicate.of(AlgComparison(ColumnRef("item"), op, value_term)))
         per_iteration = Distinct(Project(selected, [("iter", "iter")]))
         return Attach(Attach(per_iteration, "pos", 1), "item", 1)
 

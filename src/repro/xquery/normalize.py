@@ -29,6 +29,7 @@ from typing import Optional
 
 from repro.errors import XQueryCompilationError
 from repro.xquery.ast import (
+    Aggregate,
     AndExpr,
     Comparison,
     ContextItem,
@@ -43,6 +44,7 @@ from repro.xquery.ast import (
     IfExpr,
     LetExpr,
     NumberLiteral,
+    PositionFilter,
     Root,
     Step,
     StringLiteral,
@@ -92,7 +94,9 @@ def _norm(expr: Expression, state: _NormalizerState) -> Expression:
         return expr
     if isinstance(expr, Comparison):
         return Comparison(_norm(expr.left, state), expr.op, _norm(expr.right, state))
-    if isinstance(expr, (FnBoolean, FsDdo)):
+    if isinstance(expr, Aggregate):
+        return Aggregate(expr.function, _norm(expr.argument, state))
+    if isinstance(expr, (FnBoolean, FsDdo, PositionFilter)):
         # Already-core input is accepted verbatim (useful in tests).
         return expr
     if isinstance(expr, ContextItem):
@@ -112,7 +116,18 @@ def _norm_path(expr: Expression, state: _NormalizerState) -> Expression:
 
 
 def _norm_filter(expr: Filter, state: _NormalizerState) -> Expression:
-    """Desugar ``E[p]`` into ``for $dot in fs:ddo(E) return if (...) then $dot else ()``."""
+    """Desugar ``E[p]`` into ``for $dot in fs:ddo(E) return if (...) then $dot else ()``.
+
+    A *numeric* predicate is positional (XPath 3.1, 3.4.2.2: a predicate
+    whose value is a number tests ``position() = n``, it is not an effective
+    boolean value) and becomes the :class:`PositionFilter` core form — for a
+    literal position and likewise for a numeric external variable
+    (``//item[$n]``), whose value arrives at bind time.
+    """
+    if isinstance(expr.predicate, NumberLiteral):
+        return PositionFilter(_norm(expr.input, state), position=expr.predicate.value)
+    if isinstance(expr.predicate, ExternalVar) and expr.predicate.is_numeric:
+        return PositionFilter(_norm(expr.input, state), parameter=expr.predicate.name)
     dot = state.fresh_var()
     source = _norm(expr.input, state)
     predicate = _replace_context(expr.predicate, VarRef(dot))
@@ -189,4 +204,6 @@ def _replace_context(expr: Expression, replacement: Expression) -> Expression:
             _replace_context(expr.condition, replacement),
             _replace_context(expr.then_branch, replacement),
         )
+    if isinstance(expr, Aggregate):
+        return Aggregate(expr.function, _replace_context(expr.argument, replacement))
     return expr

@@ -18,6 +18,8 @@ from __future__ import annotations
 from repro.errors import XQuerySyntaxError
 from repro.xmldb.axes import AXES
 from repro.xquery.ast import (
+    Aggregate,
+    AGGREGATE_FUNCTIONS,
     AndExpr,
     Comparison,
     ContextItem,
@@ -45,6 +47,14 @@ from repro.xquery.lexer import Token, tokenize
 _KIND_TESTS = frozenset(
     {"text", "node", "comment", "element", "attribute", "processing-instruction", "document-node"}
 )
+
+#: Function-call spellings of the supported aggregates (``count`` is also a
+#: legal element name — only a following ``(`` makes it a call).
+_AGGREGATE_NAMES = {
+    name: function
+    for function in AGGREGATE_FUNCTIONS
+    for name in (function, f"fn:{function}")
+}
 
 
 class _Parser:
@@ -276,6 +286,17 @@ class _Parser:
             uri = self.expect("string").text
             self.expect(")")
             return Doc(uri)
+        token = self.peek()
+        if (
+            token.type == "name"
+            and token.text in _AGGREGATE_NAMES
+            and self.peek(1).type == "("
+        ):
+            self.advance()
+            self.expect("(")
+            argument = self.parse_expr_single()
+            self.expect(")")
+            return Aggregate(_AGGREGATE_NAMES[token.text], argument)
         if self.accept("$"):
             return VarRef(self._expect_var_name_token().text)
         if self.accept("."):

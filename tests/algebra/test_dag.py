@@ -73,3 +73,50 @@ def test_deep_plan_iteration_is_iterative():
     for i in range(3000):
         plan = Attach(plan, f"c{i}", i)
     assert node_count(plan) == 3001
+
+
+def test_substitute_rewrites_inside_other_replacements():
+    """Regression: substitute() spliced replacement subtrees verbatim, so a
+    replacement that still referenced the *old* version of another replaced
+    node left the plan with two divergent copies of a shared operator —
+    which silently broke every rewrite premise relying on shared anchors
+    (the key-join collapse's ``left_origin is right_origin``)."""
+    from repro.algebra.operators import Cross, RowId
+
+    doc = DocTable()
+    rowid = RowId(Project(doc, [("a", "pre")]), "rid")
+    consumer_one = Project(rowid, [("x", "rid")])
+    consumer_two = Project(rowid, [("y", "rid")])
+    top = Cross(consumer_one, consumer_two)
+
+    widened_rowid = RowId(Project(doc, [("a", "pre"), ("carry", "size")]), "rid")
+    # One replacement's subtree (the rebuilt consumer) still references the
+    # OLD rowid; the map also replaces the rowid itself.
+    replacements = {
+        id(rowid): widened_rowid,
+        id(consumer_one): Project(rowid, [("x", "rid")]),
+    }
+    new_top = substitute(top, replacements)
+    rowids = [node for node in iter_nodes(new_top) if isinstance(node, RowId)]
+    # Exactly ONE RowId object survives — the widened copy — referenced by
+    # both consumers.
+    assert len(rowids) == 1
+    assert rowids[0] is widened_rowid
+
+
+def test_substitute_self_reference_still_allowed_in_multi_maps():
+    """A replacement wrapping its own target composes with other entries."""
+    from repro.algebra.operators import Cross
+
+    doc = DocTable()
+    select = Select(doc, Predicate.of(Comparison(ColumnRef("kind"), "=", Literal("ELEM"))))
+    other = Project(doc, [("a", "pre")])
+    top = Cross(Project(select, [("k", "kind")]), other)
+    replacements = {
+        id(select): Distinct(select),  # wraps itself
+        id(other): Project(doc, [("a", "pre"), ("b", "size")]),
+    }
+    new_top = substitute(top, replacements)
+    distincts = [n for n in iter_nodes(new_top) if isinstance(n, Distinct)]
+    assert len(distincts) == 1
+    assert distincts[0].child is select  # the self-reference was not re-replaced

@@ -85,3 +85,72 @@ def test_timeout_raises(small_auction_doc_table):
 def test_serialize_is_transparent(small_auction_doc_table):
     plan = Serialize(LiteralTable(("iter",), [(1,)]))
     assert evaluate_plan(plan, small_auction_doc_table).rows == [(1,)]
+
+
+# -- GroupAggregate (the AGGR rule's operator) ----------------------------------------
+
+
+def _aggregate_fixture(function, value_column=None):
+    from repro.algebra.operators import GroupAggregate, LiteralTable
+
+    child_columns = ["iter", "item"] + (["val"] if value_column else [])
+    child = LiteralTable(
+        child_columns,
+        [
+            row
+            for row in (
+                # iteration 1: two distinct units (one duplicated), values 10/20
+                (1, 100, 10.0),
+                (1, 100, 10.0),  # duplicate bundle row: must count once
+                (1, 101, 20.0),
+                # iteration 2: one unit without a numeric value
+                (2, 102, None),
+            )
+        ]
+        if value_column
+        else [(1, 100), (1, 100), (1, 101), (2, 102)],
+    )
+    loop = LiteralTable(("iter",), [(1,), (2,), (3,)])  # iteration 3 is empty
+    return GroupAggregate(
+        child, loop, function, group_column="iter",
+        unit_column="item", value_column=value_column,
+    )
+
+
+def test_group_aggregate_count_dedupes_and_completes_empty_groups(small_auction_doc_table):
+    from repro.algebra.interpreter import PlanInterpreter
+
+    table = PlanInterpreter(small_auction_doc_table).evaluate(_aggregate_fixture("count"))
+    assert table.columns == ("iter", "item")
+    assert table.rows == [(1, 2), (2, 1), (3, 0)]
+
+
+def test_group_aggregate_sum_ignores_nulls_and_completes_with_zero(small_auction_doc_table):
+    from repro.algebra.interpreter import PlanInterpreter
+
+    table = PlanInterpreter(small_auction_doc_table).evaluate(_aggregate_fixture("sum", "val"))
+    assert table.rows == [(1, 30.0), (2, 0), (3, 0)]
+
+
+def test_group_aggregate_avg_drops_valueless_groups(small_auction_doc_table):
+    from repro.algebra.interpreter import PlanInterpreter
+
+    table = PlanInterpreter(small_auction_doc_table).evaluate(_aggregate_fixture("avg", "val"))
+    # iteration 2 has a unit but no numeric value; iteration 3 no units.
+    assert table.rows == [(1, 15.0)]
+
+
+def test_group_aggregate_validates_its_columns():
+    import pytest
+
+    from repro.errors import AlgebraError
+    from repro.algebra.operators import GroupAggregate, LiteralTable
+
+    child = LiteralTable(("iter", "item"), [])
+    loop = LiteralTable(("iter",), [(1,)])
+    with pytest.raises(AlgebraError):
+        GroupAggregate(child, loop, "median")
+    with pytest.raises(AlgebraError):
+        GroupAggregate(child, loop, "sum")  # sum needs a value column
+    with pytest.raises(AlgebraError):
+        GroupAggregate(child, loop, "count", value_column="item")

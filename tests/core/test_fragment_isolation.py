@@ -1,0 +1,103 @@
+"""Isolation + extraction of the widened fragment (value joins, aggregates)."""
+
+import pytest
+
+from repro.core.joingraph import AggregateTerm, ColumnTerm, extract_join_graph
+from repro.core.sqlgen import render_join_graph
+from repro.errors import JoinGraphError
+from repro.xquery.compiler import CompilerSettings, compile_query
+from repro.core.rewriter import isolate
+
+SETTINGS = CompilerSettings(default_document="t.xml")
+
+VALUE_JOIN = (
+    'for $p in doc("t.xml")/descendant::person '
+    'for $i in doc("t.xml")/descendant::item '
+    "where $p/child::watch = $i/attribute::id "
+    "return $i/child::name"
+)
+
+
+def _isolated(query):
+    plan = compile_query(query, SETTINGS)
+    isolated, _report = isolate(plan)
+    return isolated
+
+
+def test_value_join_isolates_to_a_pure_join_graph():
+    graph = extract_join_graph(_isolated(VALUE_JOIN))
+    # The value comparison survives as a plain condition over two aliases.
+    value_conditions = [
+        condition
+        for condition in graph.conditions
+        if isinstance(condition.left, ColumnTerm)
+        and isinstance(condition.right, ColumnTerm)
+        and condition.left.column == "value"
+        and condition.right.column == "value"
+    ]
+    assert len(value_conditions) == 1
+    assert graph.aggregate is None
+    # The FLWOR nest's complete iteration order made it into ORDER BY: the
+    # outer variable's document order first, then the inner one's.
+    assert len(graph.order_terms) >= 2
+
+
+def test_value_join_order_terms_are_renderable():
+    graph = extract_join_graph(_isolated(VALUE_JOIN))
+    sql = render_join_graph(graph)
+    assert "ORDER BY" in sql
+    assert ".value = " in sql
+
+
+def test_scalar_aggregate_extracts_with_a_spec():
+    graph = extract_join_graph(_isolated('count(doc("t.xml")/descendant::b)'))
+    assert graph.aggregate is not None
+    assert graph.aggregate.is_scalar
+    assert graph.aggregate.function == "count"
+    assert isinstance(graph.select_items[0][0], AggregateTerm)
+    sql = render_join_graph(graph)
+    assert "COUNT(" in sql
+    assert "SELECT DISTINCT" in sql  # the argument dedup pushed into SQL
+
+
+def test_nested_aggregate_extracts_with_grouping():
+    graph = extract_join_graph(
+        _isolated('for $a in doc("t.xml")/descendant::a return sum($a/child::b)')
+    )
+    spec = graph.aggregate
+    assert spec is not None and not spec.is_scalar
+    assert spec.function == "sum"
+    assert spec.value is not None
+    # The outer scope holds a strict subset of the graph's aliases.
+    assert 0 < spec.outer_alias_count < len(graph.aliases)
+    sql = render_join_graph(graph)
+    assert "GROUP BY" in sql
+    assert "LEFT JOIN" in sql
+    assert "COALESCE(SUM(" in sql
+
+
+def test_aggregate_join_order_pins_both_scopes():
+    graph = extract_join_graph(
+        _isolated('for $a in doc("t.xml")/descendant::a return count($a/child::b)')
+    )
+    order = list(reversed(graph.aliases))
+    sql = render_join_graph(graph, join_order=order)
+    assert "CROSS JOIN" in sql
+
+
+def test_positional_predicate_does_not_extract():
+    """The rank-compared guard keeps rule (12) from rewriting the position
+    rank away; the surviving rank column then (correctly) defeats
+    extraction instead of silently selecting by node identity."""
+    with pytest.raises(JoinGraphError):
+        extract_join_graph(_isolated('doc("t.xml")/descendant::b[2]'))
+
+
+def test_aggregate_inside_a_condition_does_not_extract():
+    with pytest.raises(JoinGraphError):
+        extract_join_graph(
+            _isolated(
+                'for $a in doc("t.xml")/descendant::a '
+                "where count($a/child::b) > 1 return $a"
+            )
+        )

@@ -157,6 +157,7 @@ def test_clear_resets_counters_with_entries():
         "hits": 0,
         "misses": 0,
         "evictions": 0,
+        "source_memo_size": 0,
     }
 
 
@@ -187,3 +188,109 @@ def test_concurrent_get_put_keeps_counters_consistent():
     # Size never exceeds maxsize, and the LRU structure survived the churn.
     assert 0 < stats["size"] <= 8
     assert len(cache) == stats["size"]
+
+
+# -- the raw-source memo (lockstep with plan eviction) --------------------------------
+
+
+def test_source_memo_evicts_in_lockstep_with_plans():
+    """Regression: the source side-map pruned purely by size, so it could
+    retain mappings to evicted plans and drop mappings to live ones.  Memo
+    entries now leave exactly when their plan does."""
+    cache = PlanCache(maxsize=2)
+    cache.put("ka", "A")
+    cache.remember_source("src-a", "ka")
+    cache.put("kb", "B")
+    cache.remember_source("src-b1", "kb")
+    cache.remember_source("src-b2", "kb")  # formatting variant, same plan
+    assert cache.stats()["source_memo_size"] == 3
+
+    cache.put("kc", "C")  # evicts "ka" (LRU) -> its memo entry goes with it
+    assert cache.key_for_source("src-a") is None
+    assert cache.key_for_source("src-b1") == "kb"
+    assert cache.key_for_source("src-b2") == "kb"
+    stats = cache.stats()
+    assert stats["evictions"] == 1
+    assert stats["source_memo_size"] == 2
+
+    # Every surviving memo entry resolves to a live plan.
+    for memo in ("src-b1", "src-b2"):
+        assert cache.get(cache.key_for_source(memo)) is not None
+
+
+def test_source_memo_is_bounded_and_prunes_reverse_index():
+    cache = PlanCache(maxsize=1)
+    cache.put("k", "V")
+    for i in range(10):
+        cache.remember_source(f"src-{i}", "k")
+    # Bounded at 4x maxsize; the stalest memo entries were dropped.
+    assert cache.stats()["source_memo_size"] == 4
+    assert cache.key_for_source("src-0") is None
+    assert cache.key_for_source("src-9") == "k"
+
+
+def test_remember_source_refuses_dangling_mappings():
+    """A clear() (or eviction) racing between put() and remember_source()
+    must not leave a memo entry pointing at a plan the cache cannot
+    produce."""
+    cache = PlanCache(maxsize=2)
+    cache.put("k", "V")
+    cache.clear()
+    cache.remember_source("src", "k")  # the plan is gone: no-op
+    assert cache.key_for_source("src") is None
+    assert cache.stats()["source_memo_size"] == 0
+
+
+def test_clear_mid_traffic_keeps_stats_consistent():
+    """Concurrency regression: clears interleaved with compile traffic must
+    leave one coherent cache generation — every memo entry resolves to a
+    live plan, and the counters obey their exact invariants."""
+    import threading
+
+    encoding = encode_document(parse_xml(XML, uri="t.xml"))
+    processor = XQueryProcessor(encoding, default_document="t.xml", plan_cache_size=4)
+    cache = processor.plan_cache
+    queries = [
+        QUERY,
+        'doc("t.xml")/descendant::b',
+        'fn:count(doc("t.xml")/descendant::b)',
+        'for $a in doc("t.xml")/descendant::a return fn:count($a/child::b)',
+        'doc("t.xml")/descendant::b[1]',
+    ]
+    stop = threading.Event()
+    errors: list = []
+
+    def traffic(seed):
+        i = 0
+        while not stop.is_set() or i < 50:
+            if i >= 50 and stop.is_set():
+                break
+            source = queries[(seed + i) % len(queries)]
+            try:
+                processor.execute(source, configuration="stacked")
+            except Exception as error:  # pragma: no cover - the assertion below
+                errors.append(error)
+                break
+            i += 1
+
+    threads = [threading.Thread(target=traffic, args=(s,)) for s in range(4)]
+    for t in threads:
+        t.start()
+    for _ in range(20):
+        cache.clear()
+    stop.set()
+    for t in threads:
+        t.join()
+
+    assert not errors
+    stats = cache.stats()
+    assert stats["size"] <= stats["maxsize"]
+    # One coherent generation: every memo entry maps to a live plan.
+    with cache._lock:
+        for memo_key, cache_key in cache._key_by_source.items():
+            assert cache_key in cache._entries, (memo_key, cache_key)
+        for cache_key, memo_keys in cache._sources_by_key.items():
+            assert cache_key in cache._entries
+            for memo_key in memo_keys:
+                assert cache._key_by_source.get(memo_key) == cache_key
+    assert stats["source_memo_size"] <= 4 * stats["maxsize"]

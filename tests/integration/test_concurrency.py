@@ -232,3 +232,52 @@ def test_concurrent_processor_rebuild_happens_once():
     for thread in threads:
         thread.join()
     assert len({id(processor) for processor in results}) == 1
+
+
+def test_plan_cache_clear_during_service_traffic_stays_consistent():
+    """Regression: Session.cache_stats() and QueryService.service_stats()
+    must describe one coherent cache generation even when the plan cache is
+    cleared mid-traffic — no memo entry may survive pointing at a plan the
+    cleared cache cannot produce, and results stay bit-for-bit correct."""
+    session = _fresh_session()
+    expected = {
+        source: session.execute(source, configuration="stacked").items
+        for source in ADHOC_QUERIES
+    }
+    mismatches: list = []
+    stop = threading.Event()
+
+    def traffic(seed: int) -> None:
+        i = 0
+        while not stop.is_set() or i < 30:
+            if i >= 30 and stop.is_set():
+                break
+            source = ADHOC_QUERIES[(seed + i) % len(ADHOC_QUERIES)]
+            outcome = service.submit(source, configuration="stacked").result()
+            if outcome.items != expected[source]:
+                mismatches.append((source, outcome.items))
+                break
+            i += 1
+
+    with QueryService(session, max_workers=4) as service:
+        threads = [threading.Thread(target=traffic, args=(s,)) for s in range(4)]
+        for thread in threads:
+            thread.start()
+        for _ in range(15):
+            session.plan_cache.clear()
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not mismatches
+        service_view = service.service_stats()["plan_cache"]
+        session_view = session.cache_stats()
+
+    # Both views come from the same locked snapshot mechanism.
+    assert set(service_view) == set(session_view)
+    cache = session.plan_cache
+    with cache._lock:
+        for memo_key, cache_key in cache._key_by_source.items():
+            assert cache_key in cache._entries, (memo_key, cache_key)
+    stats = session.cache_stats()
+    assert stats["size"] <= stats["maxsize"]
+    assert stats["source_memo_size"] <= 4 * stats["maxsize"]

@@ -23,7 +23,7 @@ def test_stacked_vs_isolated_interpreted(name, xmark_processor, dblp_processor):
     assert set(stacked.items) == set(isolated.items)
 
 
-@pytest.mark.parametrize("name", ["Q1", "Q3", "Q4", "Q5", "Q6"])
+@pytest.mark.parametrize("name", ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6"])
 def test_join_graph_execution_matches_stacked(name, xmark_processor, dblp_processor):
     query = query_by_name(name)
     processor = _processor_for(query, xmark_processor, dblp_processor)

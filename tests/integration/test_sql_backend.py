@@ -63,10 +63,26 @@ def test_unknown_configuration_is_rejected(small_processor):
         prepared.run(engine="")
 
 
+def test_q2_value_join_isolates_and_runs_on_sql(xmark_processor):
+    # The multi-conjunct key-join collapse reduces Q2 (value joins over
+    # itemref/@item and incategory/@category) to one pure join graph; it
+    # executes on SQLite bit-for-bit like the interpreted configurations.
+    query = query_by_name("Q2")
+    compilation = xmark_processor.compile(query.xquery)
+    assert compilation.join_graph is not None
+    via_sql = xmark_processor.execute_sql(query.xquery)
+    stacked = xmark_processor.execute_stacked(query.xquery)
+    assert via_sql.items == stacked.items
+
+
 def test_sql_requires_a_join_graph(xmark_processor):
-    query = query_by_name("Q2")  # isolation cannot reduce Q2 to a pure join graph
+    # A positional predicate filters on a rank column, which no pure join
+    # graph can express — the sql configuration must refuse, not guess.
+    query = 'doc("auction.xml")/descendant::open_auction[2]/child::bidder'
+    compilation = xmark_processor.compile(query)
+    assert compilation.join_graph is None
     with pytest.raises(JoinGraphError):
-        xmark_processor.execute_sql(query.xquery)
+        xmark_processor.execute_sql(query)
 
 
 def test_sql_results_serialize(small_processor):

@@ -233,7 +233,15 @@ def test_service_stats_surface_plan_cache(session):
 
 def test_execute_many_reject_mode_keeps_admitted_results():
     """Regression: a mid-batch ServiceOverloadedError must not discard the
-    results of already-admitted requests when return_exceptions=True."""
+    results of already-admitted requests when return_exceptions=True.
+
+    Determinism: the blocked query is only released once *both* over-limit
+    entries have provably been rejected (observed via service_stats) — the
+    earlier version released as soon as the blocker started, racing the
+    batch thread's remaining submissions against the freed slot.
+    """
+    import time
+
     stub = _StubSession()
     service = QueryService(stub, max_workers=1, max_in_flight=1, admission="reject")
     try:
@@ -251,6 +259,13 @@ def test_execute_many_reject_mode_keeps_admitted_results():
         thread = threading.Thread(target=run_batch)
         thread.start()
         assert stub.started.wait(10)   # first entry occupies the only slot
+        deadline = time.monotonic() + 10
+        while (
+            service.service_stats()["engines"]["auto"]["rejected"] < 2
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.002)
+        assert service.service_stats()["engines"]["auto"]["rejected"] == 2
         stub.release.set()
         assert done.wait(10)
         thread.join()
@@ -260,4 +275,5 @@ def test_execute_many_reject_mode_keeps_admitted_results():
 
     assert gathered[0] == "blocked-done"
     assert all(isinstance(item, ServiceOverloadedError) for item in gathered[1:])
+    assert len(gathered) == 3
     assert service.service_stats()["engines"]["auto"]["rejected"] == 2

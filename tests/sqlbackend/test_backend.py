@@ -1,6 +1,7 @@
 """Unit tests for the SQLite backend: schema, loading, execution, budgets."""
 
 import gc
+import sqlite3
 
 import pytest
 
@@ -154,6 +155,18 @@ def test_timeout_budget_aborts_execution():
     assert backend.execute("SELECT 1").rows == [(1,)]
 
 
+def test_error_mentioning_interrupt_is_not_a_timeout():
+    """Regression: timeouts were classified by substring-matching
+    "interrupt" in the error text; a legitimate error whose message happens
+    to contain that word (an unknown table named ``interrupt_log``) must
+    surface as an OperationalError even while a budget is armed."""
+    backend = SQLiteBackend()
+    with pytest.raises(sqlite3.OperationalError) as excinfo:
+        backend.execute("SELECT * FROM interrupt_log", timeout_seconds=5.0)
+    assert "interrupt" in str(excinfo.value).lower()
+    assert not isinstance(excinfo.value, QueryTimeoutError)
+
+
 def test_context_manager_closes_connection():
     with SQLiteBackend() as backend:
         assert backend.execute("SELECT 1").rows == [(1,)]
@@ -176,10 +189,15 @@ def test_sequence_items_without_pos_keeps_row_order():
     assert sequence_items(("item",), [(7,), (3,), (7,)]) == [7, 3]
 
 
-def test_ordered_items_projects_in_row_order():
+def test_ordered_items_keeps_first_occurrence_and_drops_nulls():
+    # Value-join select lists carry extra ordering columns, so SQL's
+    # DISTINCT dedupes full rows while the XQuery sequence dedupes items:
+    # the decode keeps each item's first occurrence (same rule as
+    # sequence_items).  NULL items (aggregate tails: avg over an empty
+    # group) are dropped.
     columns = ("item", "item1")
-    rows = [(5, 1), (2, 2), (5, 3)]
-    assert ordered_items(columns, rows) == [5, 2, 5]
+    rows = [(5, 1), (2, 2), (None, 3), (5, 4)]
+    assert ordered_items(columns, rows) == [5, 2]
 
 
 # -- connection pool / lifecycle ----------------------------------------------------

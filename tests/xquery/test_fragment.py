@@ -1,0 +1,143 @@
+"""Front-end tests for the widened fragment: aggregates + positional predicates."""
+
+import pytest
+
+from repro.errors import XQueryCompilationError, XQuerySyntaxError
+from repro.algebra.operators import GroupAggregate, Select
+from repro.algebra.dag import find_nodes
+from repro.xquery.ast import (
+    Aggregate,
+    Filter,
+    NumberLiteral,
+    PositionFilter,
+    Step,
+)
+from repro.xquery.compiler import CompilerSettings, compile_query
+from repro.xquery.normalize import normalize
+from repro.xquery.parser import parse_xquery
+
+
+SETTINGS = CompilerSettings(default_document="t.xml")
+
+
+# -- parsing --------------------------------------------------------------------------
+
+
+def test_aggregate_function_calls_parse():
+    for spelling in ("count", "fn:count", "sum", "fn:sum", "avg", "fn:avg"):
+        expr = parse_xquery(f"{spelling}(//b)")
+        assert isinstance(expr, Aggregate)
+        assert expr.function == spelling.removeprefix("fn:")
+        assert isinstance(expr.argument, Step)
+
+
+def test_count_remains_a_legal_element_name():
+    """Only a following '(' makes ``count`` a function call."""
+    path = parse_xquery("//count")
+    assert isinstance(path, Step)
+    assert path.node_test == "count"
+    nested = parse_xquery("child::sum/child::avg")
+    assert isinstance(nested, Step)
+    assert nested.node_test == "avg"
+
+
+def test_aggregate_requires_an_argument():
+    with pytest.raises(XQuerySyntaxError):
+        parse_xquery("count()")
+
+
+def test_numeric_predicate_parses_as_filter():
+    expr = parse_xquery("//b[2]")
+    assert isinstance(expr, Filter)
+    assert isinstance(expr.predicate, NumberLiteral)
+
+
+# -- normalization --------------------------------------------------------------------
+
+
+def test_numeric_predicate_normalizes_to_position_filter():
+    core = normalize(parse_xquery("//b[2]"), default_document="t.xml")
+    filters = [core] if isinstance(core, PositionFilter) else []
+    assert filters and filters[0].position == 2.0
+    assert filters[0].parameter is None
+
+
+def test_numeric_external_predicate_normalizes_to_parameter_position():
+    from repro.xquery.parser import parse_module
+
+    module = parse_module(
+        "declare variable $n as xs:integer external; //b[$n]"
+    )
+    core = normalize(module.body, default_document="t.xml")
+    assert isinstance(core, PositionFilter)
+    assert core.parameter == "n"
+    assert core.position is None
+
+
+def test_aggregate_argument_is_normalized_in_sequence_position():
+    core = normalize(parse_xquery("count(//b)"), default_document="t.xml")
+    assert isinstance(core, Aggregate)
+    # The path argument got the usual fs:ddo wrapping.
+    from repro.xquery.ast import FsDdo
+
+    assert isinstance(core.argument, FsDdo)
+
+
+# -- compilation ----------------------------------------------------------------------
+
+
+def test_aggregate_compiles_to_group_aggregate():
+    plan = compile_query("count(//b)", SETTINGS)
+    aggregates = find_nodes(plan, lambda n: isinstance(n, GroupAggregate))
+    assert len(aggregates) == 1
+    assert aggregates[0].function == "count"
+    assert aggregates[0].value_column is None
+    assert aggregates[0].unit_column == "item"
+
+
+def test_sum_compiles_with_a_value_column():
+    plan = compile_query("sum(//b)", SETTINGS)
+    (aggregate,) = find_nodes(plan, lambda n: isinstance(n, GroupAggregate))
+    assert aggregate.function == "sum"
+    assert aggregate.value_column is not None
+
+
+def test_positional_predicate_compiles_to_a_pos_selection():
+    plan = compile_query("//b[2]", SETTINGS)
+    selections = find_nodes(
+        plan,
+        lambda n: isinstance(n, Select) and "pos" in n.predicate.columns(),
+    )
+    assert selections
+
+
+def test_non_integral_position_compiles_to_empty():
+    from repro.algebra.operators import LiteralTable
+
+    plan = compile_query("//b[2.5]", SETTINGS)
+    literals = find_nodes(
+        plan, lambda n: isinstance(n, LiteralTable) and not n.rows
+    )
+    assert literals
+
+
+def test_aggregate_versus_path_comparison_is_rejected():
+    with pytest.raises(XQueryCompilationError):
+        compile_query("//a[count(child::b) = child::c]", SETTINGS)
+
+
+def test_aggregate_versus_literal_comparison_compiles():
+    plan = compile_query("//a[count(child::b) > 1]", SETTINGS)
+    assert find_nodes(plan, lambda n: isinstance(n, GroupAggregate))
+
+
+def test_literal_on_left_of_aggregate_comparison_compiles():
+    """Regression: '1 < count(...)' passed the literal as the aggregate
+    operand (the swap keyed on left_literal instead of left_aggregate)."""
+    plan = compile_query("//a[1 < count(child::b)]", SETTINGS)
+    assert find_nodes(plan, lambda n: isinstance(n, GroupAggregate))
+
+
+def test_aggregate_versus_aggregate_comparison_is_rejected():
+    with pytest.raises(XQueryCompilationError):
+        compile_query("//a[count(child::b) = count(child::c)]", SETTINGS)
