@@ -1,0 +1,217 @@
+"""Resilience-layer overhead and degraded-mode throughput.
+
+Two questions, one JSON report:
+
+1. **Steady-state overhead** — what does carrying the resilience machinery
+   (retry policy, per-engine circuit breakers, fallback chains) cost when
+   *nothing fails*?  The same prepared ``sql`` batch runs through a plain
+   :class:`~repro.service.QueryService` and through one with every policy
+   armed; the gate demands the resilient service stay within
+   ``MAX_OVERHEAD`` of the plain one.  Both variants are measured
+   interleaved (plain/resilient/plain/resilient ...) inside a single
+   process, so machine noise hits both sides alike; the reported overhead
+   is the ratio of the *best* repeat of each side — the standard way to
+   strip scheduler noise from a microbenchmark.
+
+2. **Degraded-mode throughput** — with a seeded 50% fault storm on
+   ``backend.execute``, how much service does retry + engine fallback
+   actually deliver?  The gate is absolute on correctness (every request
+   completes, every answer bit-for-bit identical to serial) and merely
+   *records* the throughput ratio: degraded mode is allowed to be slow, it
+   is not allowed to be wrong or lossy.
+
+Usage::
+
+    python benchmarks/bench_resilience.py [--scale 1.0] [--requests 160]
+        [--repeats 3] [--output BENCH_resilience.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sqlite3
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(1, str(pathlib.Path(__file__).resolve().parent))
+
+from repro.bench.workloads import build_xmark_dataset
+from repro.core.session import Session
+from repro.service import (
+    BreakerPolicy,
+    FallbackPolicy,
+    QueryRequest,
+    QueryService,
+    RetryPolicy,
+)
+from repro.testing.faults import FaultPlan
+from bench_concurrency import build_requests
+
+#: Steady-state gate: the resilient service's best repeat must stay within
+#: this factor of the plain service's best repeat (ISSUE 6: < 5%).
+MAX_OVERHEAD = 1.05
+
+#: Degraded-mode storm: every other backend.execute raises, seeded.
+STORM_RATE = 0.5
+STORM_SEED = 20090331  # the paper's conference date — fixed forever
+
+WORKERS = 4
+
+
+def _policies() -> dict:
+    return {
+        "retry": RetryPolicy(max_attempts=4, base_delay=0.001, jitter=0.0),
+        "fallback": FallbackPolicy(),
+        "breaker": BreakerPolicy(failure_threshold=100_000),
+    }
+
+
+def _run_batch(session, requests, expected, **service_kwargs) -> dict:
+    with QueryService(
+        session, max_workers=WORKERS, max_in_flight=2 * WORKERS, **service_kwargs
+    ) as service:
+        warmup = service.execute_many(requests[: 2 * WORKERS])
+        for outcome, want in zip(warmup, expected[: 2 * WORKERS]):
+            assert outcome.items == want, "warm-up diverged from serial results"
+        started = time.perf_counter()
+        outcomes = service.execute_many(requests)
+        elapsed = time.perf_counter() - started
+        stats = service.service_stats()
+    mismatches = sum(
+        1 for outcome, want in zip(outcomes, expected) if outcome.items != want
+    )
+    return {
+        "elapsed_seconds": elapsed,
+        "queries_per_second": len(requests) / elapsed,
+        "mismatches": mismatches,
+        "resilience": stats["resilience"],
+    }
+
+
+def measure_steady_state(session, requests, expected, repeats: int) -> dict:
+    """Plain vs fully-armed service on a fault-free workload, interleaved."""
+    plain_runs, resilient_runs = [], []
+    for _ in range(repeats):
+        plain_runs.append(_run_batch(session, requests, expected))
+        resilient_runs.append(
+            _run_batch(session, requests, expected, **_policies())
+        )
+    plain_best = min(run["elapsed_seconds"] for run in plain_runs)
+    resilient_best = min(run["elapsed_seconds"] for run in resilient_runs)
+    consistent = all(
+        run["mismatches"] == 0 for run in plain_runs + resilient_runs
+    )
+    # Sanity: a fault-free run must not have burned a single retry/fallback.
+    untouched = all(
+        run["resilience"]["retries"] == 0 and run["resilience"]["fallbacks"] == 0
+        for run in resilient_runs
+    )
+    return {
+        "repeats": repeats,
+        "plain_best_seconds": plain_best,
+        "resilient_best_seconds": resilient_best,
+        "overhead_ratio": resilient_best / plain_best,
+        "max_overhead_ratio": MAX_OVERHEAD,
+        "consistent_results": consistent,
+        "resilience_untouched": untouched,
+        "plain_runs": plain_runs,
+        "resilient_runs": [
+            {k: v for k, v in run.items() if k != "resilience"}
+            for run in resilient_runs
+        ],
+    }
+
+
+def measure_degraded_mode(session, requests, expected, baseline_seconds) -> dict:
+    """Throughput and correctness under a seeded 50% backend.execute storm."""
+    with FaultPlan() as plan:
+        plan.storm(
+            "backend.execute",
+            sqlite3.OperationalError("database is locked"),
+            rate=STORM_RATE,
+            seed=STORM_SEED,
+        )
+        run = _run_batch(session, requests, expected, **_policies())
+        fired = dict(plan.fired)
+    return {
+        "storm_rate": STORM_RATE,
+        "storm_seed": STORM_SEED,
+        "faults_injected": fired.get("backend.execute", 0),
+        "elapsed_seconds": run["elapsed_seconds"],
+        "queries_per_second": run["queries_per_second"],
+        "throughput_vs_steady": baseline_seconds / run["elapsed_seconds"],
+        "completed_all": run["mismatches"] == 0,
+        "mismatches": run["mismatches"],
+        "retries": run["resilience"]["retries"],
+        "fallbacks": run["resilience"]["fallbacks"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0, help="XMark scale factor")
+    parser.add_argument("--requests", type=int, default=160)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_resilience.json",
+    )
+    args = parser.parse_args(argv)
+
+    dataset = build_xmark_dataset(scale=args.scale)
+    session = Session()
+    session.register_document(dataset.document)
+    per_query = max(1, args.requests // 3)
+    requests, expected = build_requests(session, per_query)
+    print(
+        f"xmark scale {args.scale}: {dataset.node_count} nodes, "
+        f"{len(requests)} prepared sql requests, {WORKERS} workers"
+    )
+
+    steady = measure_steady_state(session, requests, expected, args.repeats)
+    print(
+        f"  steady state: plain {steady['plain_best_seconds']:.3f}s vs "
+        f"resilient {steady['resilient_best_seconds']:.3f}s "
+        f"-> overhead {steady['overhead_ratio']:.3f}x (gate < {MAX_OVERHEAD}x)"
+    )
+
+    degraded = measure_degraded_mode(
+        session, requests, expected, steady["resilient_best_seconds"]
+    )
+    print(
+        f"  degraded mode ({STORM_RATE:.0%} storm, seed {STORM_SEED}): "
+        f"{degraded['queries_per_second']:.1f} q/s, "
+        f"{degraded['faults_injected']} faults, {degraded['retries']} retries, "
+        f"{degraded['fallbacks']} fallbacks, all completed="
+        f"{degraded['completed_all']}"
+    )
+
+    passed = (
+        steady["overhead_ratio"] <= MAX_OVERHEAD
+        and steady["consistent_results"]
+        and steady["resilience_untouched"]
+        and degraded["completed_all"]
+    )
+    report = {
+        "benchmark": "resilience_overhead_and_degraded_mode",
+        "rdbms": "sqlite3",
+        "scale": args.scale,
+        "nodes": dataset.node_count,
+        "workers": WORKERS,
+        "requests": len(requests),
+        "steady_state": steady,
+        "degraded_mode": degraded,
+        "pass": passed,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output} (pass={report['pass']})")
+    return 0 if report["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,7 +42,14 @@ The package is organised as follows:
 ``repro.service``
     The concurrent serving layer: ``QueryService`` runs queries from many
     threads over one shared ``Session`` — worker pool, admission control,
-    per-query budgets, batched ``execute_many``, per-engine metrics.
+    per-query budgets, batched ``execute_many``, per-engine metrics, and
+    opt-in resilience (retry with backoff, per-engine circuit breakers,
+    and engine-fallback degradation down the equivalence chain).
+
+``repro.testing``
+    Deterministic fault injection for the chaos test suite and the
+    resilience benchmark: named fault points in the SQLite backend and
+    connection pool, scripted or seeded-random fault plans.
 
 ``repro.bench``
     Workloads (Q1-Q6), dataset builders, and reporting helpers used by the
@@ -56,7 +63,13 @@ from repro.core.pipeline import (
     XQueryProcessor,
 )
 from repro.core.session import DocumentStore, Session
-from repro.service import QueryRequest, QueryService
+from repro.service import (
+    BreakerPolicy,
+    FallbackPolicy,
+    QueryRequest,
+    QueryService,
+    RetryPolicy,
+)
 from repro.sqlbackend.backend import SQLiteBackend
 
 __all__ = [
@@ -66,10 +79,13 @@ __all__ = [
     "PreparedQuery",
     "QueryRequest",
     "QueryService",
+    "RetryPolicy",
+    "BreakerPolicy",
+    "FallbackPolicy",
     "Session",
     "DocumentStore",
     "SQLiteBackend",
     "__version__",
 ]
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"

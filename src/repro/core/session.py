@@ -271,6 +271,31 @@ class Session:
         """
         return self.plan_cache.stats()
 
+    def mirror_health(self) -> dict[str, object]:
+        """Health report of the session's SQLite mirror (self-healing facade).
+
+        Runs :meth:`~repro.sqlbackend.backend.SQLiteBackend.verify_integrity`
+        — ``PRAGMA integrity_check`` plus a row-for-row prefix comparison
+        against the canonical in-memory encoding — and reports how many
+        times the mirror has been quarantined and rebuilt from that
+        canonical store.  Call :meth:`heal_mirror` to repair an unhealthy
+        mirror in place.
+        """
+        return {
+            "healthy": self.sql_backend.verify_integrity(),
+            "rebuilds": self.sql_backend.rebuilds,
+            "loaded_rows": self.sql_backend.loaded_rows,
+        }
+
+    def heal_mirror(self) -> bool:
+        """Verify the SQLite mirror and rebuild it if corrupted.
+
+        Returns True when a rebuild happened (the old image is quarantined
+        and every pooled reader transparently re-clones), False when the
+        mirror was already healthy.
+        """
+        return self.sql_backend.heal()
+
     def explain(
         self, source: str, bindings: Optional[Mapping[str, object]] = None
     ) -> str:

@@ -152,6 +152,13 @@ class ExecutionOutcome:
     rows_scanned: int = 0
     details: object = None
     timings: StageTimings = field(default_factory=dict)
+    #: Set by the serving layer when this outcome was produced by a
+    #: *fallback* engine after the requested one failed: the engine the
+    #: caller originally asked for (e.g. ``"sql"``).  ``None`` for direct
+    #: executions.  Safe to serve as-is — the engine equivalence proof
+    #: guarantees the items are bit-for-bit what the requested engine
+    #: would have returned.
+    degraded_from: Optional[str] = None
 
     @property
     def node_count(self) -> int:

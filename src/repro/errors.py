@@ -7,6 +7,8 @@ still being able to distinguish the subsystem that failed.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -77,6 +79,52 @@ class BackendClosedError(CatalogError):
     """Raised when a closed RDBMS backend (or its pool) is used again."""
 
 
+class TransientBackendError(ReproError):
+    """A backend fault that is expected to clear on retry.
+
+    The SQLite boundary classifies driver errors into this family when the
+    failure is environmental rather than semantic: ``database is locked``,
+    ``database is busy``, ``disk I/O error``, an external ``interrupt``.
+    Retry policies (:mod:`repro.service.resilience`) only ever retry
+    errors of this class; everything else is treated as permanent.
+
+    ``cause`` keeps the original driver exception for diagnostics.
+    """
+
+    def __init__(self, message: str, cause: Optional[BaseException] = None):
+        super().__init__(message)
+        self.cause = cause
+
+
+class BackendExecutionError(ReproError):
+    """A *permanent* backend failure (bad SQL, missing table, constraint).
+
+    Raised at the RDBMS boundary instead of leaking raw driver exceptions;
+    never retried and never healed — the statement itself is at fault, not
+    the backend's health.  ``cause`` keeps the original driver exception.
+    """
+
+    def __init__(self, message: str, cause: Optional[BaseException] = None):
+        super().__init__(message)
+        self.cause = cause
+
+
+class MirrorIntegrityError(CatalogError):
+    """The SQLite mirror diverged from (or can no longer serve) the catalog.
+
+    Raised when ``PRAGMA integrity_check`` fails, the database image is
+    malformed, or the mirrored rows are no longer a prefix of the canonical
+    encoding.  The backend's quarantine-and-rebuild path
+    (:meth:`repro.sqlbackend.backend.SQLiteBackend.rebuild_mirror`) exists
+    precisely to recover from this state; this error surfaces only when
+    that recovery is impossible.
+    """
+
+    def __init__(self, message: str, cause: Optional[BaseException] = None):
+        super().__init__(message)
+        self.cause = cause
+
+
 class PlanningError(ReproError):
     """Raised when the optimizer cannot produce a physical plan."""
 
@@ -111,3 +159,35 @@ class ServiceClosedError(ServiceError):
 
 class ServiceOverloadedError(ServiceError):
     """Raised when admission control rejects a query (too many in flight)."""
+
+
+class CircuitOpenError(TransientBackendError):
+    """An engine's circuit breaker is open: the backend is shedding load.
+
+    Transient by definition — the breaker re-probes after its recovery
+    window — so fallback chains treat it exactly like any other transient
+    backend fault: degrade to the next engine instead of queueing work
+    behind a dead backend.
+    """
+
+
+class DegradedExecutionError(ServiceError):
+    """Every engine in a fallback chain failed for one query.
+
+    Carries the *original* error (the failure of the engine the caller
+    asked for), the engine whose failure ended the chain, and the full
+    tuple of engines attempted — enough to reconstruct the degradation
+    path from the exception alone.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        cause: Optional[BaseException] = None,
+        engine: Optional[str] = None,
+        attempted: tuple = (),
+    ):
+        super().__init__(message)
+        self.cause = cause
+        self.engine = engine
+        self.attempted = tuple(attempted)

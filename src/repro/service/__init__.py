@@ -5,12 +5,33 @@ north star asks for — submit queries from any thread, run them on a pool
 of workers with admission control and per-query budgets, and read
 per-engine latency/throughput counters back out.  See
 :mod:`repro.service.service` for the full design notes.
+
+The resilience layer (:mod:`repro.service.resilience`) is opt-in:
+construct the service with a :class:`RetryPolicy` (transient faults are
+retried with deadline-aware backoff), a :class:`BreakerPolicy` (per-engine
+circuit breakers shed load from a failing backend), and/or a
+:class:`FallbackPolicy` (a failed engine degrades down the paper's
+equivalence chain — the degraded answer is bit-for-bit the same answer).
 """
 
+from repro.service.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    FallbackPolicy,
+    RetryPolicy,
+)
 from repro.service.service import (
     EngineMetrics,
     QueryRequest,
     QueryService,
 )
 
-__all__ = ["EngineMetrics", "QueryRequest", "QueryService"]
+__all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "EngineMetrics",
+    "FallbackPolicy",
+    "QueryRequest",
+    "QueryService",
+    "RetryPolicy",
+]

@@ -20,8 +20,19 @@ chapters take for granted:
   paths, the interpreter/operator budgets elsewhere; overruns surface as
   :class:`~repro.errors.QueryTimeoutError` on the future and are counted;
 * **metrics** — per-engine counters (submitted/completed/failed/timed
-  out/rejected, latency totals) plus the session's plan-cache counters,
-  one consistent snapshot via :meth:`QueryService.service_stats`.
+  out/rejected/degraded, latency totals) plus the session's plan-cache
+  counters, one consistent snapshot via :meth:`QueryService.service_stats`;
+* **resilience** (all opt-in, see :mod:`repro.service.resilience`) — a
+  :class:`~repro.service.resilience.RetryPolicy` retries transient backend
+  faults with deadline-aware backoff, a
+  :class:`~repro.service.resilience.BreakerPolicy` gives every engine a
+  circuit breaker that sheds load after consecutive faults, and a
+  :class:`~repro.service.resilience.FallbackPolicy` degrades a failed
+  engine down the paper's equivalence chain (``sql → join-graph →
+  stacked``) — safe because all five configurations are proven bit-for-bit
+  identical, so a degraded answer is the *same* answer.  Degraded
+  outcomes carry ``degraded_from`` and are counted in
+  ``service_stats()["resilience"]``.
 
 Every engine configuration of the paper's Table IX experiment runs through
 the service unchanged (``stacked``, ``isolated``, ``join-graph``, ``sql``,
@@ -55,6 +66,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence, Union
 
 from repro.errors import (
+    DegradedExecutionError,
     QueryTimeoutError,
     ServiceClosedError,
     ServiceError,
@@ -62,6 +74,13 @@ from repro.errors import (
 )
 from repro.core.pipeline import ExecutionOutcome, PreparedQuery
 from repro.core.session import Session
+from repro.service.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    FallbackPolicy,
+    RetryPolicy,
+    is_backend_fault,
+)
 
 
 @dataclass(frozen=True)
@@ -73,6 +92,11 @@ class QueryRequest:
     handle) must be set.  ``configuration`` picks the engine —
     ``"auto"``/``"stacked"``/``"isolated"``/``"join-graph"``/``"sql"``/
     ``"sql-stacked"``, exactly as everywhere else in the stack.
+
+    ``fallback=False`` opts this request out of the service's engine
+    degradation chain: the requested engine's failure surfaces directly
+    instead of being served by an interpreted equivalent (useful for
+    differential tests and benchmarks that must pin one engine).
     """
 
     source: Optional[str] = None
@@ -80,6 +104,7 @@ class QueryRequest:
     bindings: Optional[Mapping[str, object]] = None
     configuration: str = "auto"
     timeout_seconds: Optional[float] = None
+    fallback: bool = True
 
     def __post_init__(self) -> None:
         if (self.source is None) == (self.prepared is None):
@@ -99,10 +124,19 @@ class EngineMetrics:
     failed: int = 0
     timed_out: int = 0
     rejected: int = 0
+    degraded: int = 0
     total_seconds: float = 0.0
     max_seconds: float = 0.0
 
     def snapshot(self) -> dict[str, object]:
+        """One point-in-time view; callers hold the service's metrics lock.
+
+        Every mutation of these counters happens under that same lock, so
+        a snapshot is internally consistent — in particular
+        ``submitted >= completed + failed + timed_out`` always holds within
+        one snapshot (a submitted query is counted exactly once on the
+        outcome side, under the lock, when it finishes).
+        """
         mean = self.total_seconds / self.completed if self.completed else 0.0
         return {
             "submitted": self.submitted,
@@ -110,6 +144,7 @@ class EngineMetrics:
             "failed": self.failed,
             "timed_out": self.timed_out,
             "rejected": self.rejected,
+            "degraded": self.degraded,
             "total_seconds": self.total_seconds,
             "mean_seconds": mean,
             "max_seconds": self.max_seconds,
@@ -137,6 +172,9 @@ class QueryService:
         max_in_flight: Optional[int] = None,
         default_timeout_seconds: Optional[float] = None,
         admission: str = "block",
+        retry: Optional[RetryPolicy] = None,
+        fallback: Optional[FallbackPolicy] = None,
+        breaker: Optional[BreakerPolicy] = None,
     ):
         if max_workers < 1:
             raise ValueError("QueryService needs at least one worker")
@@ -151,14 +189,38 @@ class QueryService:
         self.max_in_flight = max_in_flight
         self.default_timeout_seconds = default_timeout_seconds
         self.admission = admission
+        #: Resilience policies (all optional — None keeps the raw PR 4
+        #: behaviour where engine errors propagate straight to the future):
+        #: ``retry`` re-executes transient backend faults with backoff,
+        #: ``breaker`` sheds load per engine after consecutive faults,
+        #: ``fallback`` degrades a failed engine to an interpreted
+        #: equivalent (bit-for-bit identical results by construction).
+        self.retry_policy = retry
+        self.fallback_policy = fallback
+        self.breaker_policy = breaker
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._breakers_lock = threading.Lock()
         self._slots = threading.BoundedSemaphore(max_in_flight)
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-query"
         )
         self._metrics: dict[str, EngineMetrics] = {}
         self._metrics_lock = threading.Lock()
+        #: Aggregate resilience counters, mutated under the metrics lock.
+        self._resilience = {
+            "retries": 0,
+            "fallbacks": 0,
+            "breaker_short_circuits": 0,
+            "exhausted": 0,
+        }
         self._in_flight = 0
+        #: Signalled when the last in-flight query finishes (drain support);
+        #: shares the metrics lock so the in-flight count it guards is the
+        #: same one the counters see.
+        self._drained = threading.Condition(self._metrics_lock)
         self._closed = False
+        #: Injectable backoff sleep (the chaos suite swaps in a no-op).
+        self._sleep = time.sleep
 
     # -- submission ------------------------------------------------------------------
 
@@ -306,19 +368,7 @@ class QueryService:
         )
         started = time.perf_counter()
         try:
-            if request.prepared is not None:
-                outcome = request.prepared.run(
-                    request.bindings,
-                    engine=request.configuration,
-                    timeout_seconds=budget,
-                )
-            else:
-                outcome = self.session.execute(
-                    request.source,
-                    bindings=request.bindings,
-                    timeout_seconds=budget,
-                    configuration=request.configuration,
-                )
+            outcome = self._run_resilient(request, budget, started)
         except QueryTimeoutError:
             with self._metrics_lock:
                 metrics.timed_out += 1
@@ -330,13 +380,162 @@ class QueryService:
         elapsed = time.perf_counter() - started
         with self._metrics_lock:
             metrics.completed += 1
+            if getattr(outcome, "degraded_from", None) is not None:
+                metrics.degraded += 1
             metrics.total_seconds += elapsed
             metrics.max_seconds = max(metrics.max_seconds, elapsed)
         return outcome
 
-    def _release_slot(self, _future: Future) -> None:
+    def _run_resilient(
+        self, request: QueryRequest, budget: Optional[float], started: float
+    ) -> ExecutionOutcome:
+        """Walk the engine chain, retrying each engine per the retry policy.
+
+        The chain starts with the requested engine; further entries come
+        from the fallback policy (unless the request opted out).  Per
+        engine: the breaker is consulted first (open → shed and move on),
+        then :meth:`_attempt_with_retry` runs the query with backoff.
+        A timeout propagates immediately — the budget is gone, there is
+        nothing left to degrade with.  A semantic (non-backend) error on
+        the *requested* engine propagates raw; only backend faults walk
+        further down the chain.  If the whole chain faults, the first
+        engine's error surfaces wrapped in
+        :class:`~repro.errors.DegradedExecutionError`.
+        """
+        if request.fallback and self.fallback_policy is not None:
+            chain = self.fallback_policy.chain_for(request.configuration)
+        else:
+            chain = (request.configuration,)
+        errors_seen: list[tuple[str, BaseException]] = []
+        for position, engine in enumerate(chain):
+            breaker = self._breaker(engine)
+            if breaker is not None and not breaker.allow():
+                with self._metrics_lock:
+                    self._resilience["breaker_short_circuits"] += 1
+                errors_seen.append((engine, breaker.open_error()))
+                continue
+            try:
+                outcome = self._attempt_with_retry(
+                    request, engine, breaker, budget, started, fresh=position == 0
+                )
+            except QueryTimeoutError:
+                raise
+            except BaseException as error:
+                if not is_backend_fault(error):
+                    # Semantic failure — every engine would fail it the same
+                    # way, so degrading is pure waste.  Surface it raw.
+                    raise
+                if len(chain) == 1:
+                    # No degradation possible (policy off, opted out, or an
+                    # interpreted floor engine): raw PR 4 behaviour.
+                    raise
+                errors_seen.append((engine, error))
+                continue
+            if position > 0:
+                try:
+                    outcome.degraded_from = chain[0]
+                except AttributeError:
+                    pass  # exotic outcome type (test stubs); counters still track it
+                with self._metrics_lock:
+                    self._resilience["fallbacks"] += 1
+            return outcome
+        first_engine, first_error = errors_seen[0]
+        if len(chain) == 1:
+            # Only reachable via an open breaker on a chain of one.
+            raise first_error
         with self._metrics_lock:
+            self._resilience["exhausted"] += 1
+        raise DegradedExecutionError(
+            f"all engines failed for this request (tried: {', '.join(chain)}); "
+            f"first failure was on {first_engine!r}: {first_error}",
+            cause=first_error,
+            engine=first_engine,
+            attempted=chain,
+        ) from first_error
+
+    def _attempt_with_retry(
+        self,
+        request: QueryRequest,
+        engine: str,
+        breaker: Optional[CircuitBreaker],
+        budget: Optional[float],
+        started: float,
+        fresh: bool = False,
+    ) -> ExecutionOutcome:
+        """Run one engine with the retry policy's backoff loop.
+
+        Each attempt gets the request's *remaining* budget as its timeout,
+        so retries and fallback engines can never stretch a request past
+        its deadline.  The very first execution of the requested engine
+        (``fresh=True``) gets the budget verbatim — no clock arithmetic on
+        the fast path.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            if budget is None:
+                remaining = None
+            elif fresh and attempt == 1:
+                remaining = budget
+            else:
+                remaining = budget - (time.perf_counter() - started)
+            if remaining is not None and remaining <= 0:
+                raise QueryTimeoutError(
+                    f"query exceeded its {budget}s budget before "
+                    f"attempt {attempt} on engine {engine!r} could start"
+                )
+            try:
+                outcome = self._execute_once(request, engine, remaining)
+            except BaseException as error:
+                if breaker is not None and is_backend_fault(error):
+                    breaker.record_failure()
+                delay = (
+                    None
+                    if self.retry_policy is None
+                    else self.retry_policy.next_delay(attempt, error, remaining)
+                )
+                if delay is None:
+                    raise
+                with self._metrics_lock:
+                    self._resilience["retries"] += 1
+                if delay > 0:
+                    self._sleep(delay)
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            return outcome
+
+    def _execute_once(
+        self, request: QueryRequest, engine: str, remaining: Optional[float]
+    ) -> ExecutionOutcome:
+        if request.prepared is not None:
+            return request.prepared.run(
+                request.bindings,
+                engine=engine,
+                timeout_seconds=remaining,
+            )
+        return self.session.execute(
+            request.source,
+            bindings=request.bindings,
+            timeout_seconds=remaining,
+            configuration=engine,
+        )
+
+    def _breaker(self, engine: str) -> Optional[CircuitBreaker]:
+        """The lazily-built breaker for one engine (None when disabled)."""
+        if self.breaker_policy is None:
+            return None
+        with self._breakers_lock:
+            breaker = self._breakers.get(engine)
+            if breaker is None:
+                breaker = self._breakers[engine] = self.breaker_policy.build(engine)
+            return breaker
+
+    def _release_slot(self, _future: Future) -> None:
+        with self._drained:
             self._in_flight -= 1
+            if self._in_flight == 0:
+                self._drained.notify_all()
         self._slots.release()
 
     def _engine_metrics(self, configuration: str) -> EngineMetrics:
@@ -362,6 +561,12 @@ class QueryService:
                 name: metrics.snapshot() for name, metrics in self._metrics.items()
             }
             in_flight = self._in_flight
+            resilience: dict[str, object] = dict(self._resilience)
+        with self._breakers_lock:
+            breakers = list(self._breakers.items())
+        resilience["breakers"] = {
+            engine: breaker.snapshot() for engine, breaker in breakers
+        }
         return {
             "engines": engines,
             "in_flight": in_flight,
@@ -369,6 +574,7 @@ class QueryService:
             "max_workers": self.max_workers,
             "admission": self.admission,
             "closed": self._closed,
+            "resilience": resilience,
             "plan_cache": self.session.cache_stats(),
         }
 
@@ -378,13 +584,36 @@ class QueryService:
     def closed(self) -> bool:
         return self._closed
 
-    def close(self, wait: bool = True) -> None:
+    def close(
+        self,
+        wait: bool = True,
+        drain: bool = False,
+        drain_timeout: Optional[float] = None,
+    ) -> None:
         """Stop accepting work and shut the pool down.  Idempotent.
 
         In-flight queries finish (``wait=True`` blocks until they do); the
         underlying session stays open — the service never owns it.
+
+        ``drain=True`` makes the shutdown *graceful and bounded*: admission
+        stops immediately, then the call waits — at most ``drain_timeout``
+        seconds (None = indefinitely) — for every in-flight query to
+        finish before shutting the executor down.  Returns normally either
+        way; queries still running after the drain window keep their
+        workers until they complete (the executor never cancels running
+        work), but no new work is admitted.
         """
         self._closed = True
+        if drain:
+            with self._drained:
+                self._drained.wait_for(
+                    lambda: self._in_flight == 0, timeout=drain_timeout
+                )
+            drained = self._in_flight == 0
+            # Past the drain window: don't block shutdown on stragglers
+            # unless the drain actually completed and wait=True is cheap.
+            self._executor.shutdown(wait=wait and drained)
+            return
         self._executor.shutdown(wait=wait)
 
     def __enter__(self) -> "QueryService":

@@ -55,8 +55,16 @@ import weakref
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Union
 
-from repro.errors import BackendClosedError, CatalogError, QueryTimeoutError
+from repro.errors import (
+    BackendClosedError,
+    BackendExecutionError,
+    CatalogError,
+    MirrorIntegrityError,
+    QueryTimeoutError,
+    TransientBackendError,
+)
 from repro.sqlbackend.schema import bootstrap_schema, index_names, insert_statement
+from repro.testing.faults import fire as _fire_fault
 from repro.xmldb.encoding import DOC_COLUMNS, DocumentEncoding
 
 #: VM instructions between progress-handler ticks while a timeout is armed.
@@ -85,6 +93,58 @@ def _is_read_statement(sql: str) -> bool:
     if any(first.startswith(keyword) for keyword in _READ_STATEMENTS):
         return True
     return first.startswith("WITH") and not _WRITE_KEYWORD.search(text)
+
+
+#: Driver-message classes that clear on retry: another writer holds a lock,
+#: the OS hiccuped, someone interrupted the VM.  Substring matches against
+#: the lowercased message (SQLite appends detail after these prefixes, e.g.
+#: ``database table is locked: doc``).
+_TRANSIENT_MESSAGES = (
+    "database is locked",
+    "database table is locked",
+    "database is busy",
+    "disk i/o error",
+)
+
+#: Driver-message classes that mean the mirror itself can no longer be
+#: trusted — the quarantine-and-rebuild path recovers from these.
+_INTEGRITY_MESSAGES = (
+    "database disk image is malformed",
+    "file is not a database",
+    "malformed database schema",
+)
+
+
+def classify_driver_error(error: BaseException) -> Exception:
+    """Translate a driver exception into the repro error taxonomy.
+
+    The boundary rule: no raw :mod:`sqlite3` exception escapes the backend.
+    Transient subcases (locked/busy/disk I/O/interrupted) become
+    :class:`~repro.errors.TransientBackendError` — the only class retry
+    policies act on; integrity subcases become
+    :class:`~repro.errors.MirrorIntegrityError` (triggering the rebuild
+    path); everything else is a permanent
+    :class:`~repro.errors.BackendExecutionError`.
+
+    Classification keys on SQLite's fixed message prefixes, never on loose
+    substrings: a genuine SQL error that merely *mentions* ``interrupt``
+    (``no such table: interrupt_log``) stays permanent.  ``interrupted``
+    must be the entire message — that is exactly what ``sqlite3_interrupt``
+    produces, and anything longer is a different error that happens to
+    contain the word.
+    """
+    message = str(error).lower()
+    if message == "interrupted":
+        return TransientBackendError(
+            "the statement was interrupted mid-execution", cause=error
+        )
+    for needle in _INTEGRITY_MESSAGES:
+        if needle in message:
+            return MirrorIntegrityError(str(error), cause=error)
+    for needle in _TRANSIENT_MESSAGES:
+        if needle in message:
+            return TransientBackendError(str(error), cause=error)
+    return BackendExecutionError(str(error), cause=error)
 
 
 @dataclass
@@ -130,6 +190,12 @@ class ConnectionPool:
         self.write_lock = threading.RLock()
         self.primary = sqlite3.connect(path, check_same_thread=False)
         self._generation = 0
+        #: Bumped when the primary is *replaced* (mirror rebuild): stale
+        #: readers cannot be refreshed in place — for a file-backed pool the
+        #: old connections still hold the quarantined file's inode — so an
+        #: epoch change makes every thread discard its reader and connect
+        #: anew on the next acquire.
+        self._epoch = 0
         self._local = threading.local()
         #: thread ident -> (weakref to the owning thread, its reader).
         #: Lets close() reach every reader, and lets reader creation prune
@@ -144,6 +210,26 @@ class ConnectionPool:
     def mark_changed(self) -> None:
         """Record a committed write; existing readers are now stale."""
         self._generation += 1
+
+    def replace_primary(self, connection: sqlite3.Connection) -> None:
+        """Swap in a new primary (mirror rebuild); every reader is retired.
+
+        Called with a fully initialized replacement database under
+        :attr:`write_lock`.  The epoch bump makes every pooled reader —
+        in-memory clone or file connection to a quarantined inode — rebuild
+        from scratch on its owning thread's next :meth:`acquire`; the old
+        primary is closed here, old readers close lazily as their threads
+        return.
+        """
+        with self.write_lock:
+            retired = self.primary
+            self.primary = connection
+            self._generation += 1
+            self._epoch += 1
+        try:
+            retired.close()
+        except sqlite3.Error:  # pragma: no cover - close() best effort
+            pass
 
     def close(self) -> None:
         """Close the primary and every pooled reader.  Idempotent."""
@@ -163,11 +249,32 @@ class ConnectionPool:
     # -- checkout ----------------------------------------------------------------
 
     def acquire(self) -> sqlite3.Connection:
-        """The calling thread's read connection, refreshed if stale."""
+        """The calling thread's read connection, refreshed if stale.
+
+        Failure-safe: if refresh or creation fails mid-acquire (a clone
+        fault, a dying filesystem), the half-initialized connection is
+        closed and dropped from both the thread-local slot and the registry
+        — never cached, so the next acquire starts clean.  Driver errors
+        cross the same classification boundary as execution errors: no raw
+        :mod:`sqlite3` exception escapes the pool.
+        """
+        try:
+            return self._acquire()
+        except sqlite3.DatabaseError as error:
+            raise classify_driver_error(error) from error
+
+    def _acquire(self) -> sqlite3.Connection:
+        _fire_fault("pool.acquire")
         if self.closed:
             raise BackendClosedError("this SQLiteBackend has been closed")
         generation = self._generation
+        epoch = self._epoch
         connection = getattr(self._local, "connection", None)
+        if connection is not None and getattr(self._local, "epoch", None) != epoch:
+            # The primary was replaced (mirror rebuild): this reader may
+            # point at a quarantined database — discard it outright.
+            self._discard_local_reader()
+            connection = None
         if connection is not None and self._local.generation == generation:
             return connection
         if connection is None:
@@ -175,16 +282,44 @@ class ConnectionPool:
             self._local.connection = connection
         elif self.in_memory:
             # Stale clone: re-copy the primary (file readers see the file).
-            with self.write_lock:
-                self.primary.backup(connection)
+            try:
+                _fire_fault("mirror.clone")
+                with self.write_lock:
+                    self.primary.backup(connection)
+            except BaseException:
+                self._discard_local_reader()
+                raise
         self._local.generation = generation
+        self._local.epoch = epoch
         return connection
+
+    def _discard_local_reader(self) -> None:
+        """Close + forget the calling thread's reader (refresh failed/stale)."""
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            return
+        self._local.connection = None
+        with self._registry_lock:
+            registered = self._readers.get(threading.get_ident())
+            if registered is not None and registered[1] is connection:
+                del self._readers[threading.get_ident()]
+        try:
+            connection.close()
+        except sqlite3.Error:  # pragma: no cover - close() best effort
+            pass
 
     def _new_reader(self) -> sqlite3.Connection:
         if self.in_memory:
             connection = sqlite3.connect(":memory:", check_same_thread=False)
-            with self.write_lock:
-                self.primary.backup(connection)
+            try:
+                _fire_fault("mirror.clone")
+                with self.write_lock:
+                    self.primary.backup(connection)
+            except BaseException:
+                # Clone failed mid-setup: the half-initialized connection
+                # must not leak (it was never registered).
+                connection.close()
+                raise
         else:
             connection = sqlite3.connect(self.path, check_same_thread=False)
         stale: list[sqlite3.Connection] = []
@@ -247,6 +382,9 @@ class SQLiteBackend:
     ):
         self.table_name = table_name
         self.path = str(path)
+        self.with_indexes = with_indexes
+        #: Times the quarantine-and-rebuild path reconstructed this mirror.
+        self.rebuilds = 0
         self.pool = ConnectionPool(self.path)
         if not self.pool.in_memory:
             # Readers and the sync writer coexist under WAL; without it a
@@ -304,6 +442,12 @@ class SQLiteBackend:
         with self.pool.write_lock:
             if self.pool.closed:
                 raise BackendClosedError("this SQLiteBackend has been closed")
+            try:
+                # Fires on every sync — including the per-execution no-op
+                # path — so chaos runs can fault any query's sync stage.
+                _fire_fault("backend.sync")
+            except sqlite3.DatabaseError as error:
+                raise classify_driver_error(error) from error
             if self._source is not None and self._source() is not encoding:
                 raise CatalogError(
                     "this SQLiteBackend already mirrors a different DocumentEncoding"
@@ -323,10 +467,20 @@ class SQLiteBackend:
             # document may be (atomically) appended while we load, and its
             # rows must wait for the next sync or they would be re-inserted.
             fresh = encoding.records[self.loaded_rows : total]
-            self.connection.executemany(
-                self._insert_sql, (record.as_tuple() for record in fresh)
-            )
-            self.connection.commit()
+            try:
+                self.connection.executemany(
+                    self._insert_sql, (record.as_tuple() for record in fresh)
+                )
+                self.connection.commit()
+            except sqlite3.DatabaseError as error:
+                # A failed bulk load may have left a partial tail behind an
+                # aborted transaction; roll it back so the high-water mark
+                # stays truthful, then surface the classified error.
+                try:
+                    self.connection.rollback()
+                except sqlite3.Error:  # pragma: no cover - rollback best effort
+                    pass
+                raise classify_driver_error(error) from error
             self.loaded_rows = total
             # Refresh planner statistics so access-path choices see the new data.
             self.connection.execute("PRAGMA analysis_limit = 1000")
@@ -424,20 +578,28 @@ class SQLiteBackend:
 
             connection.set_progress_handler(_over_budget, _PROGRESS_INTERVAL)
         try:
+            _fire_fault("backend.execute")
             cursor = connection.execute(sql, values)
             rows = cursor.fetchall()
-        except sqlite3.OperationalError:
-            if interrupted:
-                raise QueryTimeoutError(
-                    timeout_seconds, time.perf_counter() - started
-                ) from None
-            raise
-        except sqlite3.ProgrammingError:
+        except sqlite3.ProgrammingError as error:
             if self.pool.closed:
                 raise BackendClosedError(
                     "this SQLiteBackend has been closed"
                 ) from None
-            raise
+            raise BackendExecutionError(str(error), cause=error) from error
+        except sqlite3.DatabaseError as error:
+            if interrupted:
+                raise QueryTimeoutError(
+                    timeout_seconds, time.perf_counter() - started
+                ) from None
+            classified = classify_driver_error(error)
+            if isinstance(classified, MirrorIntegrityError):
+                # Self-healing path: quarantine + rebuild from the canonical
+                # encoding; on success the retry layer re-executes against
+                # the fresh mirror (reported as transient), on failure the
+                # integrity error stands.
+                raise self._heal_after_corruption(classified) from error
+            raise classified from error
         finally:
             if timeout_seconds is not None:
                 try:
@@ -470,6 +632,134 @@ class SQLiteBackend:
     def indexes(self) -> list[str]:
         """Names of the indexes currently defined on the ``doc`` table."""
         return index_names(self.pool.acquire(), self.table_name)
+
+    # -- integrity & self-healing -------------------------------------------------
+
+    def verify_integrity(self) -> bool:
+        """True when the mirror is structurally sound and still faithful.
+
+        Two layers of checking: SQLite's ``PRAGMA integrity_check`` (page
+        and index structure) and the append-only prefix verification
+        against the canonical encoding (exact row count at the high-water
+        mark plus row-by-row comparison) — a mirror that silently lost or
+        mutated rows passes the PRAGMA but fails here.  Runs behind the
+        write lock; pooled readers are not disturbed.
+        """
+        with self.pool.write_lock:
+            if self.pool.closed:
+                raise BackendClosedError("this SQLiteBackend has been closed")
+            try:
+                report = self.pool.primary.execute(
+                    "PRAGMA integrity_check"
+                ).fetchall()
+                if report != [("ok",)]:
+                    return False
+                count = self.pool.primary.execute(
+                    f"SELECT COUNT(*) FROM {self.table_name}"
+                ).fetchone()[0]
+            except sqlite3.DatabaseError:
+                return False
+            if count != self.loaded_rows:
+                return False
+            encoding = self._source() if self._source is not None else None
+            if encoding is None:
+                return True  # nothing canonical left to compare against
+            try:
+                self._verify_mirrored_prefix(encoding)
+            except (CatalogError, sqlite3.DatabaseError):
+                return False
+            return True
+
+    def rebuild_mirror(self) -> int:
+        """Quarantine the database and reconstruct it from the encoding.
+
+        The rebuild happens on a *fresh* database — a new ``:memory:``
+        connection, or the file path after the corrupt file (and its WAL
+        sidecars) is moved aside to ``<path>.quarantined-N`` — because
+        issuing DDL inside a malformed image can itself fail; nothing of
+        the quarantined state is reused.  The finished replacement swaps in
+        as the pool's primary with an epoch bump, so every pooled reader
+        re-clones (in-memory) or reconnects (file) on its next acquire.
+
+        Returns the number of rows loaded; raises
+        :class:`~repro.errors.CatalogError` when no canonical encoding is
+        attached to rebuild from.
+        """
+        with self.pool.write_lock:
+            if self.pool.closed:
+                raise BackendClosedError("this SQLiteBackend has been closed")
+            encoding = self._source() if self._source is not None else None
+            if encoding is None:
+                raise CatalogError(
+                    "cannot rebuild the mirror: no canonical encoding is attached"
+                )
+            total = len(encoding)
+            fresh = self._fresh_primary()
+            try:
+                bootstrap_schema(
+                    fresh, self.table_name, with_indexes=self.with_indexes
+                )
+                fresh.executemany(
+                    self._insert_sql,
+                    (record.as_tuple() for record in encoding.records[:total]),
+                )
+                fresh.commit()
+                fresh.execute("PRAGMA analysis_limit = 1000")
+                fresh.execute("ANALYZE")
+            except BaseException:
+                fresh.close()
+                raise
+            self.pool.replace_primary(fresh)
+            self.loaded_rows = total
+            self.rebuilds += 1
+            return total
+
+    def heal(self) -> bool:
+        """Verify the mirror, rebuilding it when unhealthy; True if rebuilt."""
+        with self.pool.write_lock:
+            if self.verify_integrity():
+                return False
+            self.rebuild_mirror()
+            return True
+
+    def _heal_after_corruption(self, error: MirrorIntegrityError) -> Exception:
+        """Attempt the rebuild; decide which error the caller raises.
+
+        The statement that observed the corruption is lost either way.  A
+        successful rebuild downgrades the failure to
+        :class:`~repro.errors.TransientBackendError` (retry hits a healthy
+        mirror); an impossible rebuild leaves the integrity error standing.
+        """
+        try:
+            self.rebuild_mirror()
+        except (CatalogError, sqlite3.Error):
+            return error
+        return TransientBackendError(
+            f"the mirror was corrupted ({error}) and has been rebuilt; retry",
+            cause=error,
+        )
+
+    def _fresh_primary(self) -> sqlite3.Connection:
+        """A brand-new empty database at this backend's location.
+
+        File-backed mirrors quarantine the existing file first (main file
+        plus WAL sidecars, which belong to the old inode and must not be
+        replayed into the replacement).
+        """
+        if self.pool.in_memory:
+            return sqlite3.connect(":memory:", check_same_thread=False)
+        quarantine = f"{self.path}.quarantined-{self.rebuilds}"
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.replace(self.path + suffix, quarantine + suffix)
+            except OSError:
+                pass  # that piece is already gone; a fresh one appears below
+        connection = sqlite3.connect(self.path, check_same_thread=False)
+        try:
+            connection.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.Error:  # pragma: no cover - exotic filesystems
+            pass
+        return connection
 
     # -- lifecycle ----------------------------------------------------------------
 

@@ -1,0 +1,11 @@
+"""Deterministic testing infrastructure: the fault-injection harness.
+
+:mod:`repro.testing.faults` provides named injection points that the
+production backend/pool code calls on its hot paths; when no plan is
+installed the call is a single global read, so the harness costs nothing
+in normal operation.
+"""
+
+from repro.testing.faults import FaultPlan, fire, injection_counts
+
+__all__ = ["FaultPlan", "fire", "injection_counts"]

@@ -157,16 +157,37 @@ def test_query_service_stress_matches_serial_across_configurations():
 
     from repro.service import QueryRequest
 
+    violations: list = []
+    stop_sampling = threading.Event()
+
+    def sample_invariant(service):
+        # The snapshot-consistency invariant: every engine snapshot is taken
+        # under the metrics lock, so a submitted query is never double- or
+        # un-counted — even mid-flight, submitted covers all finished work.
+        while not stop_sampling.is_set():
+            for name, engine in service.service_stats()["engines"].items():
+                finished = engine["completed"] + engine["failed"] + engine["timed_out"]
+                if engine["submitted"] < finished:
+                    violations.append((name, engine))
+
     with QueryService(session, max_workers=THREADS) as service:
-        outcomes = service.execute_many(
-            [
-                QueryRequest(
-                    source=source, configuration=configuration, bindings=binding
-                )
-                for source, configuration, binding in requests
-            ]
-        )
+        sampler = threading.Thread(target=sample_invariant, args=(service,))
+        sampler.start()
+        try:
+            outcomes = service.execute_many(
+                [
+                    QueryRequest(
+                        source=source, configuration=configuration, bindings=binding
+                    )
+                    for source, configuration, binding in requests
+                ]
+            )
+        finally:
+            stop_sampling.set()
+            sampler.join()
         stats = service.service_stats()
+
+    assert not violations, violations[:3]
 
     for key, outcome in zip(keys, outcomes):
         assert outcome.items == expected[key], key

@@ -1,0 +1,396 @@
+"""Resilience-layer tests: retry policy, circuit breaker, engine fallback.
+
+Everything here is deterministic: clocks and rngs are injected, the
+service's backoff sleep is stubbed out, and the session double fails on
+command — no real engines, no timing races.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.errors import (
+    BackendExecutionError,
+    CircuitOpenError,
+    DegradedExecutionError,
+    QueryTimeoutError,
+    TransientBackendError,
+)
+from repro.service import (
+    BreakerPolicy,
+    FallbackPolicy,
+    QueryRequest,
+    QueryService,
+    RetryPolicy,
+)
+from repro.service.resilience import (
+    DEFAULT_CHAINS,
+    is_backend_fault,
+    is_retryable,
+)
+
+
+# -- classification helpers -----------------------------------------------------------
+
+
+def test_is_retryable_is_exactly_the_transient_family():
+    assert is_retryable(TransientBackendError("locked"))
+    assert is_retryable(CircuitOpenError("open"))  # subclass of transient
+    assert not is_retryable(QueryTimeoutError(0.1, 0.2))
+    assert not is_retryable(BackendExecutionError("no such table: t"))
+    assert not is_retryable(ValueError("boom"))
+
+
+def test_is_backend_fault_excludes_semantic_errors_and_timeouts():
+    assert is_backend_fault(TransientBackendError("locked"))
+    assert is_backend_fault(BackendExecutionError("disk gone"))
+    assert not is_backend_fault(QueryTimeoutError(0.1, 0.2))
+    assert not is_backend_fault(ValueError("syntax error"))
+
+
+# -- RetryPolicy ----------------------------------------------------------------------
+
+
+def test_retry_policy_backs_off_exponentially_with_cap():
+    policy = RetryPolicy(
+        max_attempts=5, base_delay=0.1, multiplier=2.0, max_delay=0.3, jitter=0.0
+    )
+    error = TransientBackendError("locked")
+    delays = [policy.next_delay(attempt, error, None) for attempt in (1, 2, 3, 4)]
+    assert delays == [0.1, 0.2, 0.3, 0.3]  # capped at max_delay
+    assert policy.next_delay(5, error, None) is None  # attempts exhausted
+
+
+def test_retry_policy_never_retries_timeouts_or_permanent_errors():
+    policy = RetryPolicy(max_attempts=10, jitter=0.0)
+    assert policy.next_delay(1, QueryTimeoutError(0.1, 0.2), None) is None
+    assert policy.next_delay(1, BackendExecutionError("no such table"), None) is None
+    assert policy.next_delay(1, ValueError("boom"), None) is None
+
+
+def test_retry_policy_is_deadline_aware():
+    policy = RetryPolicy(max_attempts=5, base_delay=0.2, jitter=0.0)
+    error = TransientBackendError("locked")
+    assert policy.next_delay(1, error, remaining=1.0) == pytest.approx(0.2)
+    # The backoff would eat the whole remaining budget: no retry.
+    assert policy.next_delay(1, error, remaining=0.2) is None
+    assert policy.next_delay(1, error, remaining=0.05) is None
+
+
+def test_retry_policy_jitter_stays_within_band_and_is_seedable():
+    policy = RetryPolicy(
+        base_delay=0.1, jitter=0.5, max_attempts=3, rng=random.Random(42)
+    )
+    error = TransientBackendError("locked")
+    for _ in range(50):
+        delay = policy.next_delay(1, error, None)
+        assert 0.05 <= delay <= 0.15
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+
+
+# -- CircuitBreaker -------------------------------------------------------------------
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_breaker_walks_closed_open_half_open_closed():
+    clock = _Clock()
+    breaker = BreakerPolicy(
+        failure_threshold=2, recovery_seconds=10.0, clock=clock
+    ).build("sql")
+
+    assert breaker.state == "closed"
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == "closed"  # below threshold
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == "open"  # threshold hit
+    assert not breaker.allow()
+
+    clock.now = 9.9
+    assert not breaker.allow()  # recovery window not over
+    clock.now = 10.0
+    assert breaker.state == "half-open"
+    assert breaker.allow()  # the probe
+    assert not breaker.allow()  # only one probe at a time
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.allow()
+
+    snapshot = breaker.snapshot()
+    assert snapshot["state"] == "closed"
+    assert snapshot["opened_total"] == 1
+    assert snapshot["consecutive_failures"] == 0
+
+
+def test_breaker_failed_probe_reopens_and_restarts_the_clock():
+    clock = _Clock()
+    breaker = BreakerPolicy(
+        failure_threshold=1, recovery_seconds=5.0, clock=clock
+    ).build("sql")
+    breaker.record_failure()
+    assert breaker.state == "open"
+    clock.now = 5.0
+    assert breaker.allow()  # half-open probe
+    breaker.record_failure()
+    assert breaker.state == "open"
+    clock.now = 9.0  # 4s into the *new* recovery window
+    assert not breaker.allow()
+    clock.now = 10.0
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == "closed"
+
+
+def test_breaker_success_resets_the_failure_streak():
+    breaker = BreakerPolicy(failure_threshold=3).build("sql")
+    for _ in range(2):
+        breaker.record_failure()
+    breaker.record_success()
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == "closed"  # streak never reached 3
+
+
+# -- FallbackPolicy -------------------------------------------------------------------
+
+
+def test_default_chains_degrade_toward_the_interpreted_floor():
+    policy = FallbackPolicy()
+    assert policy.chain_for("sql") == ("sql", "join-graph", "stacked")
+    assert policy.chain_for("sql-stacked") == ("sql-stacked", "stacked")
+    assert policy.chain_for("join-graph") == ("join-graph", "stacked")
+    # Engines with no chain entry never degrade.
+    assert policy.chain_for("stacked") == ("stacked",)
+    assert policy.chain_for("auto") == ("auto",)
+    assert set(DEFAULT_CHAINS) == {"sql", "sql-stacked", "join-graph"}
+
+
+# -- QueryService wiring --------------------------------------------------------------
+
+
+class _FlakySession:
+    """A session double: per-engine scripted failures, then success.
+
+    ``plan`` maps configuration name -> list of exceptions to raise (popped
+    front-first); once a list is empty that engine succeeds with
+    ``"ok:<engine>"``.
+    """
+
+    def __init__(self, plan=None):
+        self.plan = {key: list(value) for key, value in (plan or {}).items()}
+        self.calls = []
+        self.lock = threading.Lock()
+
+    def execute(self, source, bindings=None, timeout_seconds=None, configuration="auto"):
+        with self.lock:
+            self.calls.append(configuration)
+            queued = self.plan.get(configuration)
+            if queued:
+                raise queued.pop(0)
+        return f"ok:{configuration}"
+
+    def cache_stats(self):
+        return {"size": 0, "hits": 0, "misses": 0}
+
+
+def _no_sleep(service):
+    service._sleep = lambda _delay: None
+    return service
+
+
+def test_transient_errors_are_retried_to_success():
+    stub = _FlakySession({"sql": [TransientBackendError("locked")] * 2})
+    with _no_sleep(
+        QueryService(stub, retry=RetryPolicy(max_attempts=3, jitter=0.0))
+    ) as service:
+        outcome = service.execute("q", configuration="sql")
+        stats = service.service_stats()
+    assert outcome == "ok:sql"
+    assert stub.calls == ["sql", "sql", "sql"]
+    assert stats["resilience"]["retries"] == 2
+    assert stats["engines"]["sql"]["completed"] == 1
+    assert stats["engines"]["sql"]["failed"] == 0
+
+
+def test_retry_exhaustion_surfaces_the_error_raw_without_fallback():
+    stub = _FlakySession({"sql": [TransientBackendError("locked")] * 5})
+    with _no_sleep(
+        QueryService(stub, retry=RetryPolicy(max_attempts=2, jitter=0.0))
+    ) as service:
+        with pytest.raises(TransientBackendError):
+            service.execute("q", configuration="sql")
+    assert stub.calls == ["sql", "sql"]
+
+
+def test_timeouts_are_never_retried():
+    stub = _FlakySession({"sql": [QueryTimeoutError(0.1, 0.2)]})
+    with _no_sleep(
+        QueryService(
+            stub,
+            retry=RetryPolicy(max_attempts=5, jitter=0.0),
+            fallback=FallbackPolicy(),
+        )
+    ) as service:
+        with pytest.raises(QueryTimeoutError):
+            service.execute("q", configuration="sql")
+        stats = service.service_stats()
+    # One single call: no retry, and no fallback either — the budget is gone.
+    assert stub.calls == ["sql"]
+    assert stats["resilience"]["retries"] == 0
+    assert stats["resilience"]["fallbacks"] == 0
+    assert stats["engines"]["sql"]["timed_out"] == 1
+
+
+def test_backend_fault_degrades_down_the_chain():
+    stub = _FlakySession({"sql": [TransientBackendError("locked")] * 9})
+    with _no_sleep(QueryService(stub, fallback=FallbackPolicy())) as service:
+        outcome = service.execute("q", configuration="sql")
+        stats = service.service_stats()
+    assert outcome == "ok:join-graph"
+    assert stub.calls == ["sql", "join-graph"]
+    assert stats["resilience"]["fallbacks"] == 1
+    assert stats["engines"]["sql"]["completed"] == 1  # keyed by *requested* engine
+
+
+def test_degraded_outcome_is_labelled_on_real_outcome_objects():
+    class _Outcome:
+        degraded_from = None
+
+    class _Session(_FlakySession):
+        def execute(self, source, bindings=None, timeout_seconds=None,
+                    configuration="auto"):
+            super().execute(source, bindings, timeout_seconds, configuration)
+            return _Outcome()
+
+    stub = _Session({"sql": [TransientBackendError("locked")]})
+    with _no_sleep(QueryService(stub, fallback=FallbackPolicy())) as service:
+        outcome = service.execute("q", configuration="sql")
+        stats = service.service_stats()
+    assert outcome.degraded_from == "sql"
+    assert stats["engines"]["sql"]["degraded"] == 1
+
+
+def test_request_can_opt_out_of_fallback():
+    stub = _FlakySession({"sql": [TransientBackendError("locked")] * 9})
+    with _no_sleep(QueryService(stub, fallback=FallbackPolicy())) as service:
+        with pytest.raises(TransientBackendError):
+            service.submit_request(
+                QueryRequest(source="q", configuration="sql", fallback=False)
+            ).result()
+    assert stub.calls == ["sql"]
+
+
+def test_semantic_errors_never_degrade():
+    stub = _FlakySession({"sql": [ValueError("unbound variable $x")] * 9})
+    with _no_sleep(QueryService(stub, fallback=FallbackPolicy())) as service:
+        with pytest.raises(ValueError):
+            service.execute("q", configuration="sql")
+        stats = service.service_stats()
+    assert stub.calls == ["sql"]  # no other engine was burned
+    assert stats["resilience"]["fallbacks"] == 0
+
+
+def test_exhausted_chain_raises_degraded_execution_error():
+    fault = TransientBackendError("locked")
+    stub = _FlakySession(
+        {"sql": [fault] * 9, "join-graph": [fault] * 9, "stacked": [fault] * 9}
+    )
+    with _no_sleep(QueryService(stub, fallback=FallbackPolicy())) as service:
+        with pytest.raises(DegradedExecutionError) as excinfo:
+            service.execute("q", configuration="sql")
+        stats = service.service_stats()
+    assert excinfo.value.engine == "sql"
+    assert excinfo.value.attempted == ("sql", "join-graph", "stacked")
+    assert excinfo.value.cause is fault
+    assert stats["resilience"]["exhausted"] == 1
+    assert stats["engines"]["sql"]["failed"] == 1
+
+
+def test_breaker_opens_short_circuits_then_recovers_through_the_service():
+    """The acceptance-criteria walk: open → half-open probe → closed again,
+    observed end-to-end through QueryService with an injected clock."""
+    clock = _Clock()
+    stub = _FlakySession({"sql": [TransientBackendError("locked")] * 2})
+    service = _no_sleep(
+        QueryService(
+            stub,
+            breaker=BreakerPolicy(
+                failure_threshold=2, recovery_seconds=30.0, clock=clock
+            ),
+        )
+    )
+    with service:
+        # Two backend faults open the breaker.
+        for _ in range(2):
+            with pytest.raises(TransientBackendError):
+                service.execute("q", configuration="sql")
+        assert service.service_stats()["resilience"]["breakers"]["sql"][
+            "state"
+        ] == "open"
+
+        # While open: requests shed without touching the session.
+        calls_before = len(stub.calls)
+        with pytest.raises(CircuitOpenError):
+            service.execute("q", configuration="sql")
+        assert len(stub.calls) == calls_before
+        assert service.service_stats()["resilience"]["breaker_short_circuits"] == 1
+
+        # Recovery window over: the half-open probe succeeds and closes it.
+        clock.now = 30.0
+        assert service.execute("q", configuration="sql") == "ok:sql"
+        snapshot = service.service_stats()["resilience"]["breakers"]["sql"]
+        assert snapshot["state"] == "closed"
+        assert snapshot["opened_total"] == 1
+
+
+def test_open_breaker_falls_back_to_the_next_engine():
+    clock = _Clock()
+    stub = _FlakySession({"sql": [TransientBackendError("locked")] * 2})
+    service = _no_sleep(
+        QueryService(
+            stub,
+            fallback=FallbackPolicy(),
+            breaker=BreakerPolicy(failure_threshold=1, clock=clock),
+        )
+    )
+    with service:
+        # First request: sql faults (opens its breaker), join-graph serves.
+        assert service.execute("q", configuration="sql") == "ok:join-graph"
+        # Second request: sql is shed without an attempt; join-graph serves.
+        calls_before = list(stub.calls)
+        assert service.execute("q", configuration="sql") == "ok:join-graph"
+        assert stub.calls == calls_before + ["join-graph"]
+        stats = service.service_stats()
+    assert stats["resilience"]["breaker_short_circuits"] == 1
+    assert stats["resilience"]["fallbacks"] == 2
+
+
+def test_resilience_defaults_off_preserve_raw_errors():
+    stub = _FlakySession({"sql": [TransientBackendError("locked")]})
+    with QueryService(stub) as service:  # no policies at all
+        with pytest.raises(TransientBackendError):
+            service.execute("q", configuration="sql")
+        stats = service.service_stats()
+    assert stub.calls == ["sql"]
+    assert stats["resilience"] == {
+        "retries": 0,
+        "fallbacks": 0,
+        "breaker_short_circuits": 0,
+        "exhausted": 0,
+        "breakers": {},
+    }

@@ -231,6 +231,47 @@ def test_service_stats_surface_plan_cache(session):
     assert stats["in_flight"] == 0
 
 
+def test_close_drain_waits_for_in_flight_then_shuts_down():
+    """Graceful drain: admission stops immediately, in-flight work finishes."""
+    stub = _StubSession()
+    service = QueryService(stub, max_workers=2)
+    blocked = service.submit("block")
+    assert stub.started.wait(10)
+
+    drained = threading.Event()
+
+    def drain():
+        service.close(drain=True, drain_timeout=10.0)
+        drained.set()
+
+    thread = threading.Thread(target=drain)
+    thread.start()
+    # Admission is already closed while the drain is still waiting...
+    with pytest.raises(ServiceClosedError):
+        service.submit("fast")
+    # ...and the drain cannot have finished: the query is still in flight.
+    assert not drained.wait(0.2)
+    stub.release.set()
+    assert drained.wait(10)
+    thread.join()
+    assert blocked.result(10) == "blocked-done"
+    assert service.service_stats()["in_flight"] == 0
+
+
+def test_close_drain_timeout_bounds_the_wait():
+    """A straggler past the drain window must not wedge the shutdown."""
+    stub = _StubSession()
+    service = QueryService(stub, max_workers=1)
+    blocked = service.submit("block")
+    assert stub.started.wait(10)
+    try:
+        service.close(drain=True, drain_timeout=0.1)  # returns despite straggler
+        assert service.closed
+    finally:
+        stub.release.set()
+    assert blocked.result(10) == "blocked-done"  # straggler still completed
+
+
 def test_execute_many_reject_mode_keeps_admitted_results():
     """Regression: a mid-batch ServiceOverloadedError must not discard the
     results of already-admitted requests when return_exceptions=True.

@@ -5,7 +5,14 @@ import sqlite3
 
 import pytest
 
-from repro.errors import BackendClosedError, CatalogError, QueryTimeoutError
+from repro.errors import (
+    BackendClosedError,
+    BackendExecutionError,
+    CatalogError,
+    MirrorIntegrityError,
+    QueryTimeoutError,
+    TransientBackendError,
+)
 from repro.sqlbackend import ACCESS_PATH_INDEXES, SQLiteBackend
 from repro.sqlbackend.decode import ordered_items, sequence_items
 from repro.xmldb.encoding import encode_document
@@ -156,15 +163,20 @@ def test_timeout_budget_aborts_execution():
 
 
 def test_error_mentioning_interrupt_is_not_a_timeout():
-    """Regression: timeouts were classified by substring-matching
-    "interrupt" in the error text; a legitimate error whose message happens
-    to contain that word (an unknown table named ``interrupt_log``) must
-    surface as an OperationalError even while a budget is armed."""
+    """Regression (PR 5, extended): timeouts were once classified by
+    substring-matching "interrupt" in the error text; a legitimate error
+    whose message happens to contain that word (an unknown table named
+    ``interrupt_log``) must surface as a *permanent* error even while a
+    budget is armed — not a timeout, and since PR 6's transient/permanent
+    taxonomy, not a retryable TransientBackendError either."""
     backend = SQLiteBackend()
-    with pytest.raises(sqlite3.OperationalError) as excinfo:
+    with pytest.raises(BackendExecutionError) as excinfo:
         backend.execute("SELECT * FROM interrupt_log", timeout_seconds=5.0)
     assert "interrupt" in str(excinfo.value).lower()
     assert not isinstance(excinfo.value, QueryTimeoutError)
+    assert not isinstance(excinfo.value, TransientBackendError)
+    # The original driver exception stays reachable for diagnostics.
+    assert isinstance(excinfo.value.cause, sqlite3.OperationalError)
 
 
 def test_context_manager_closes_connection():
@@ -335,4 +347,255 @@ def test_dead_thread_readers_are_pruned():
     # One more reader creation sweeps the dead threads' connections.
     backend.execute("SELECT 1")
     assert backend.pool.size <= 3  # primary + this thread (+ <=1 unswept)
+    backend.close()
+
+
+# -- driver-error classification ------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "message, expected",
+    [
+        ("database is locked", TransientBackendError),
+        ("database table is locked: doc", TransientBackendError),
+        ("database is busy", TransientBackendError),
+        ("disk I/O error", TransientBackendError),
+        ("interrupted", TransientBackendError),
+        ("database disk image is malformed", MirrorIntegrityError),
+        ("file is not a database", MirrorIntegrityError),
+        ("malformed database schema (doc_idx_name)", MirrorIntegrityError),
+        ("no such table: missing", BackendExecutionError),
+        ("near \"FROM\": syntax error", BackendExecutionError),
+        # A genuine SQL error that merely *mentions* interrupt stays
+        # permanent — only the bare "interrupted" message is the VM abort.
+        ("no such table: interrupt_log", BackendExecutionError),
+        ("interrupted transfer table missing", BackendExecutionError),
+    ],
+)
+def test_classify_driver_error_table(message, expected):
+    from repro.sqlbackend.backend import classify_driver_error
+
+    original = sqlite3.OperationalError(message)
+    classified = classify_driver_error(original)
+    assert type(classified) is expected
+    assert classified.cause is original
+    # The taxonomy is strict: transient and integrity never overlap, and a
+    # timeout is never produced by classification (that is the progress
+    # handler's flag, not a message).
+    assert not isinstance(classified, QueryTimeoutError)
+
+
+def test_no_raw_sqlite_error_escapes_execute():
+    backend = SQLiteBackend.from_encoding(_encoding())
+    with pytest.raises(BackendExecutionError) as excinfo:
+        backend.execute("SELECT * FROM nowhere")
+    assert isinstance(excinfo.value.cause, sqlite3.Error)
+    backend.close()
+
+
+# -- fault injection at the pool boundary ---------------------------------------------
+
+
+def test_clone_fault_does_not_leak_the_half_initialized_reader():
+    """Regression: a clone failure inside _new_reader used to leave the
+    fresh connection open and unregistered — unreachable but unclosed."""
+    from repro.testing.faults import FaultPlan
+
+    backend = SQLiteBackend.from_encoding(_encoding())
+    baseline = backend.pool.size
+    raised = {}
+    with FaultPlan() as plan:
+        plan.script(
+            "mirror.clone", sqlite3.OperationalError("disk I/O error"), times=1
+        )
+
+        def probe():
+            try:
+                backend.execute("SELECT COUNT(*) FROM doc")
+            except BaseException as error:
+                raised["error"] = error
+
+        import threading
+
+        thread = threading.Thread(target=probe)
+        thread.start()
+        thread.join()
+        assert plan.fired == {"mirror.clone": 1}
+    assert isinstance(raised.get("error"), TransientBackendError)
+    # The failed thread registered nothing; pool size is unchanged.
+    assert backend.pool.size == baseline
+    # And the pool still works for new threads.
+    results = {}
+
+    def read():
+        results["rows"] = backend.execute("SELECT COUNT(*) FROM doc").rows
+
+    import threading
+
+    thread = threading.Thread(target=read)
+    thread.start()
+    thread.join()
+    assert results["rows"] == [(len(_encoding()),)]
+    backend.close()
+
+
+def test_refresh_clone_fault_discards_the_stale_reader():
+    """A clone fault during a *refresh* (stale generation) must drop the
+    thread's reader entirely — the next acquire starts clean and succeeds."""
+    from repro.testing.faults import FaultPlan
+
+    encoding = _encoding()
+    backend = SQLiteBackend.from_encoding(encoding)
+    backend.execute("SELECT COUNT(*) FROM doc")  # this thread now has a reader
+    backend.pool.mark_changed()  # make it stale
+    with FaultPlan() as plan:
+        plan.script(
+            "mirror.clone", sqlite3.OperationalError("disk I/O error"), times=1
+        )
+        with pytest.raises(TransientBackendError):
+            backend.execute("SELECT COUNT(*) FROM doc")
+    assert backend.execute("SELECT COUNT(*) FROM doc").rows == [(len(encoding),)]
+    backend.close()
+
+
+# -- integrity verification & self-healing --------------------------------------------
+
+
+def test_verify_integrity_passes_on_a_healthy_mirror():
+    encoding = _encoding()
+    backend = SQLiteBackend.from_encoding(encoding)
+    assert backend.verify_integrity()
+    assert backend.rebuilds == 0
+    backend.close()
+
+
+def test_verify_integrity_detects_silent_row_loss():
+    """PRAGMA integrity_check cannot see a DELETE — the prefix check must."""
+    encoding = _encoding()
+    backend = SQLiteBackend.from_encoding(encoding)
+    with backend.pool.write_lock:
+        backend.pool.primary.execute("DELETE FROM doc WHERE pre = 2")
+        backend.pool.primary.commit()
+    assert not backend.verify_integrity()
+    backend.close()
+
+
+def test_verify_integrity_detects_mutated_rows():
+    encoding = _encoding()
+    backend = SQLiteBackend.from_encoding(encoding)
+    with backend.pool.write_lock:
+        backend.pool.primary.execute("UPDATE doc SET name = 'zzz' WHERE pre = 2")
+        backend.pool.primary.commit()
+    assert not backend.verify_integrity()
+    backend.close()
+
+
+def test_heal_rebuilds_a_damaged_mirror_and_queries_recover():
+    encoding = _encoding()
+    backend = SQLiteBackend.from_encoding(encoding)
+    expected = backend.execute("SELECT * FROM doc ORDER BY pre").rows
+    with backend.pool.write_lock:
+        backend.pool.primary.execute("DELETE FROM doc")
+        backend.pool.primary.commit()
+    backend.pool.mark_changed()
+    assert backend.heal() is True
+    assert backend.rebuilds == 1
+    assert backend.heal() is False  # already healthy again
+    assert backend.execute("SELECT * FROM doc ORDER BY pre").rows == expected
+    assert backend.verify_integrity()
+    backend.close()
+
+
+def test_rebuild_without_an_encoding_raises_catalog_error():
+    backend = SQLiteBackend()  # never synced: nothing canonical to copy
+    with pytest.raises(CatalogError):
+        backend.rebuild_mirror()
+    backend.close()
+
+
+def test_rebuild_invalidates_pooled_readers_in_other_threads():
+    import threading
+
+    encoding = _encoding()
+    backend = SQLiteBackend.from_encoding(encoding)
+    seen = {}
+    ready = threading.Event()
+    go = threading.Event()
+
+    def reader():
+        seen["before"] = backend.execute("SELECT COUNT(*) FROM doc").rows
+        ready.set()
+        assert go.wait(10)
+        seen["after"] = backend.execute("SELECT COUNT(*) FROM doc").rows
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    assert ready.wait(10)
+    backend.rebuild_mirror()
+    go.set()
+    thread.join()
+    assert seen["before"] == seen["after"] == [(len(encoding),)]
+    backend.close()
+
+
+def test_file_backed_rebuild_quarantines_the_corrupt_file(tmp_path):
+    path = tmp_path / "mirror.db"
+    encoding = _encoding()
+    backend = SQLiteBackend.from_encoding(encoding, path=path)
+    expected = backend.execute("SELECT * FROM doc ORDER BY pre").rows
+    with backend.pool.write_lock:
+        backend.pool.primary.execute("DELETE FROM doc WHERE pre >= 2")
+        backend.pool.primary.commit()
+    assert not backend.verify_integrity()
+    assert backend.heal() is True
+    assert backend.execute("SELECT * FROM doc ORDER BY pre").rows == expected
+    quarantined = tmp_path / "mirror.db.quarantined-0"
+    assert quarantined.exists()
+    # The quarantined image still holds the damaged state for post-mortems.
+    leftovers = sqlite3.connect(quarantined)
+    assert leftovers.execute("SELECT COUNT(*) FROM doc").fetchone()[0] < len(
+        encoding
+    )
+    leftovers.close()
+    backend.close()
+
+
+def test_corruption_during_execute_triggers_auto_heal():
+    """An injected malformed-image fault classifies as integrity, the
+    backend rebuilds in place, and the surfaced error is *transient* — the
+    retry layer's cue that a re-execution will hit a healthy mirror."""
+    from repro.testing.faults import FaultPlan
+
+    encoding = _encoding()
+    backend = SQLiteBackend.from_encoding(encoding)
+    with FaultPlan() as plan:
+        plan.script(
+            "backend.execute",
+            sqlite3.DatabaseError("database disk image is malformed"),
+            times=1,
+        )
+        with pytest.raises(TransientBackendError, match="rebuilt; retry"):
+            backend.execute("SELECT COUNT(*) FROM doc")
+        assert plan.fired == {"backend.execute": 1}
+    assert backend.rebuilds == 1
+    assert backend.execute("SELECT COUNT(*) FROM doc").rows == [(len(encoding),)]
+    backend.close()
+
+
+def test_corruption_with_no_encoding_left_surfaces_integrity_error():
+    """When the canonical encoding is gone the rebuild is impossible — the
+    integrity error must stand (not masquerade as transient)."""
+    from repro.testing.faults import FaultPlan
+
+    backend = SQLiteBackend.from_encoding(_encoding())
+    gc.collect()  # drop the weakly-referenced encoding
+    with FaultPlan() as plan:
+        plan.script(
+            "backend.execute",
+            sqlite3.DatabaseError("database disk image is malformed"),
+            times=1,
+        )
+        with pytest.raises(MirrorIntegrityError):
+            backend.execute("SELECT COUNT(*) FROM doc")
+    assert backend.rebuilds == 0
     backend.close()

@@ -1,0 +1,130 @@
+"""Unit tests for the deterministic fault-injection harness itself.
+
+The chaos suite's conclusions are only as strong as the harness: these
+tests pin firing semantics (scripted budgets, skip counts, seeded storms,
+exclusive installation) without involving any backend.
+"""
+
+import threading
+
+import pytest
+
+from repro.testing.faults import FaultPlan, fire, injection_counts
+
+
+class _Boom(RuntimeError):
+    pass
+
+
+def test_fire_is_a_noop_without_a_plan():
+    fire("backend.execute")  # must not raise
+    assert injection_counts() == {}
+
+
+def test_scripted_fault_fires_exactly_n_times():
+    with FaultPlan() as plan:
+        plan.script("backend.execute", _Boom("x"), times=2)
+        with pytest.raises(_Boom):
+            fire("backend.execute")
+        with pytest.raises(_Boom):
+            fire("backend.execute")
+        fire("backend.execute")  # budget exhausted
+        assert plan.fired == {"backend.execute": 2}
+        assert injection_counts() == {"backend.execute": 2}
+
+
+def test_after_skips_the_first_firings():
+    with FaultPlan() as plan:
+        plan.script("backend.sync", _Boom, times=1, after=2)
+        fire("backend.sync")
+        fire("backend.sync")
+        with pytest.raises(_Boom):
+            fire("backend.sync")
+        fire("backend.sync")
+        assert plan.fired == {"backend.sync": 1}
+
+
+def test_error_spec_accepts_instance_class_and_factory():
+    with FaultPlan() as plan:
+        plan.script("pool.acquire", _Boom("instance"))
+        with pytest.raises(_Boom, match="instance"):
+            fire("pool.acquire")
+    with FaultPlan() as plan:
+        plan.script("pool.acquire", _Boom)
+        with pytest.raises(_Boom):
+            fire("pool.acquire")
+    with FaultPlan() as plan:
+        plan.script("pool.acquire", lambda: _Boom("made"))
+        with pytest.raises(_Boom, match="made"):
+            fire("pool.acquire")
+
+
+def test_unknown_point_is_rejected_at_authoring_time():
+    plan = FaultPlan()
+    with pytest.raises(ValueError, match="unknown injection point"):
+        plan.script("backend.exeucte", _Boom)  # typo guard
+
+
+def test_storm_is_reproducible_from_its_seed():
+    def run(seed):
+        outcomes = []
+        with FaultPlan() as plan:
+            plan.storm("backend.execute", _Boom, rate=0.5, seed=seed)
+            for _ in range(64):
+                try:
+                    fire("backend.execute")
+                    outcomes.append(False)
+                except _Boom:
+                    outcomes.append(True)
+        return outcomes
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)  # astronomically unlikely to collide
+    assert any(run(7)) and not all(run(7))
+
+
+def test_storm_times_caps_total_faults():
+    faults = 0
+    with FaultPlan() as plan:
+        plan.storm("backend.execute", _Boom, rate=1.0, seed=1, times=3)
+        for _ in range(10):
+            try:
+                fire("backend.execute")
+            except _Boom:
+                faults += 1
+    assert faults == 3
+    assert plan.fired["backend.execute"] == 3
+
+
+def test_plan_installation_is_exclusive():
+    with FaultPlan():
+        with pytest.raises(RuntimeError, match="already installed"):
+            with FaultPlan():
+                pass  # pragma: no cover
+    # The failed nested enter must not have torn down the outer plan's slot.
+    with FaultPlan():
+        pass
+
+
+def test_scripted_budget_is_consumed_atomically_across_threads():
+    """times=2 fires exactly twice no matter how many threads race."""
+    faults = []
+    barrier = threading.Barrier(8)
+
+    def worker():
+        barrier.wait()
+        for _ in range(25):
+            try:
+                fire("backend.execute")
+            except _Boom:
+                faults.append(1)
+
+    with FaultPlan() as plan:
+        plan.script("backend.execute", _Boom, times=2)
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert plan.fired == {"backend.execute": 2}
+    assert len(faults) == 2
