@@ -157,7 +157,9 @@ class PlanInterpreter:
         if isinstance(node, RowId):
             return self._evaluate(node.child).attach_row_ids(node.column)
         if isinstance(node, RowRank):
-            return self._evaluate(node.child).attach_rank(node.column, node.order_by)
+            return self._evaluate(node.child).attach_rank(
+                node.column, node.order_by, node.partition_by
+            )
         if isinstance(node, Cross):
             return self._evaluate(node.left).cross(self._evaluate(node.right))
         if isinstance(node, Join):

@@ -406,22 +406,34 @@ class GroupAggregate(Operator):
 class RowRank(Operator):
     """ϱ — attach the row rank in ``column`` ordered by ``order_by``.
 
-    Mirrors SQL:1999 ``RANK() OVER (ORDER BY b1, ..., bn) AS a``.
+    Mirrors SQL:1999 ``RANK() OVER ([PARTITION BY p1, ...] ORDER BY b1, ...)
+    AS a``.  ``partition_by`` restarts the rank for every distinct
+    combination of the partition columns (the paper's ϱ a:⟨b⟩/p form used
+    to number items *per iteration* instead of globally).
     """
 
-    __slots__ = ("column", "order_by")
+    __slots__ = ("column", "order_by", "partition_by")
     symbol = "ϱ"
 
-    def __init__(self, child: Operator, column: str, order_by: Sequence[str]):
+    def __init__(
+        self,
+        child: Operator,
+        column: str,
+        order_by: Sequence[str],
+        partition_by: Sequence[str] = (),
+    ):
         order_by = tuple(order_by)
+        partition_by = tuple(partition_by)
         if column in child.columns:
             raise AlgebraError(f"ϱ: column {column!r} already present in input")
         if not order_by:
             raise AlgebraError("ϱ needs at least one ordering column")
         _require_columns("ϱ", child.columns, order_by)
+        _require_columns("ϱ", child.columns, partition_by)
         super().__init__((child,), child.columns + (column,))
         self.column = column
         self.order_by = order_by
+        self.partition_by = partition_by
 
     @property
     def child(self) -> Operator:
@@ -429,10 +441,13 @@ class RowRank(Operator):
 
     def with_children(self, children: Sequence[Operator]) -> "RowRank":
         (child,) = children
-        return RowRank(child, self.column, self.order_by)
+        return RowRank(child, self.column, self.order_by, self.partition_by)
 
     def label(self) -> str:
-        return f"ϱ {self.column}:⟨{', '.join(self.order_by)}⟩"
+        rendered = f"ϱ {self.column}:⟨{', '.join(self.order_by)}⟩"
+        if self.partition_by:
+            rendered += f"/⟨{', '.join(self.partition_by)}⟩"
+        return rendered
 
 
 #: The operators the isolated join graph may contain below the plan tail

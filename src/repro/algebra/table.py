@@ -132,22 +132,37 @@ class Table:
             (row + (start + offset,) for offset, row in enumerate(self.rows)),
         )
 
-    def attach_rank(self, name: str, order_by: Sequence[str]) -> "Table":
-        """Attach SQL:1999 ``RANK() OVER (ORDER BY order_by)`` in column ``name``."""
+    def attach_rank(
+        self,
+        name: str,
+        order_by: Sequence[str],
+        partition_by: Sequence[str] = (),
+    ) -> "Table":
+        """Attach ``RANK() OVER ([PARTITION BY ...] ORDER BY order_by)`` as ``name``.
+
+        The rank restarts at 1 for every distinct combination of the
+        partition columns; ties on the order key share a rank within their
+        partition.
+        """
         if name in self._index_of:
             raise AlgebraError(f"rank: column {name!r} already exists")
         indices = [self.column_index(column) for column in order_by]
+        part_indices = [self.column_index(column) for column in partition_by]
         keys = [tuple(row[i] for i in indices) for row in self.rows]
-        order = sorted(range(len(self.rows)), key=lambda position: _sort_key(keys[position]))
+        groups: dict[tuple, list[int]] = {}
+        for position, row in enumerate(self.rows):
+            groups.setdefault(tuple(row[i] for i in part_indices), []).append(position)
         ranks: dict[int, int] = {}
-        previous_key = None
-        rank = 0
-        for sorted_position, row_position in enumerate(order, start=1):
-            key = keys[row_position]
-            if key != previous_key:
-                rank = sorted_position
-                previous_key = key
-            ranks[row_position] = rank
+        for positions in groups.values():
+            order = sorted(positions, key=lambda position: _sort_key(keys[position]))
+            previous_key = None
+            rank = 0
+            for sorted_position, row_position in enumerate(order, start=1):
+                key = keys[row_position]
+                if key != previous_key:
+                    rank = sorted_position
+                    previous_key = key
+                ranks[row_position] = rank
         return Table(
             self.columns + (name,),
             (row + (ranks[position],) for position, row in enumerate(self.rows)),

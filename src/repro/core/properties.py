@@ -224,10 +224,13 @@ def _project_keys(
 
 def _rank_keys(node: RowRank, child_keys: frozenset[frozenset[str]]) -> frozenset[frozenset[str]]:
     order_columns = frozenset(node.order_by)
+    partition_columns = frozenset(node.partition_by)
     keys: set[frozenset[str]] = set(child_keys)
     for key in child_keys:
         if key & order_columns:
-            keys.add(frozenset({node.column}) | (key - order_columns))
+            # The rank is only unique within one partition, so the derived
+            # key must carry the partition columns alongside the rank.
+            keys.add(frozenset({node.column}) | (key - order_columns) | partition_columns)
     return frozenset(keys)
 
 
@@ -282,7 +285,11 @@ def _child_icols(
     if isinstance(node, RowId):
         return (icols - {node.column}) & frozenset(child.columns)
     if isinstance(node, RowRank):
-        return ((icols - {node.column}) | frozenset(node.order_by)) & frozenset(child.columns)
+        return (
+            (icols - {node.column})
+            | frozenset(node.order_by)
+            | frozenset(node.partition_by)
+        ) & frozenset(child.columns)
     if isinstance(node, GroupAggregate):
         if position == 0:  # the aggregated input
             needed = {node.group_column, node.unit_column}

@@ -161,7 +161,7 @@ class RuleContext:
         elif isinstance(parent, Join):
             refs |= set(parent.predicate.columns()) & child_columns
         elif isinstance(parent, RowRank):
-            refs |= set(parent.order_by) & child_columns
+            refs |= (set(parent.order_by) | set(parent.partition_by)) & child_columns
         elif isinstance(parent, GroupAggregate):
             structural = {parent.group_column, parent.unit_column}
             if parent.value_column is not None:
@@ -328,15 +328,20 @@ def rule_rank_to_project(node: Operator, ctx: RuleContext) -> Optional[Operator]
 
 
 def rule_rank_prune_const(node: Operator, ctx: RuleContext) -> Optional[Operator]:
-    """(13)  drop constant columns from a ϱ's ordering criteria."""
+    """(13)  drop constant columns from a ϱ's ordering / partition criteria.
+
+    A constant partition column means the whole input is one partition, so
+    the partitioned rank degenerates to the global one.
+    """
     if not isinstance(node, RowRank):
         return None
     const = ctx.properties.const(node.child)
     kept = tuple(column for column in node.order_by if column not in const)
-    if kept == node.order_by:
+    kept_partition = tuple(column for column in node.partition_by if column not in const)
+    if kept == node.order_by and kept_partition == node.partition_by:
         return None
     if kept:
-        return RowRank(node.child, node.column, kept)
+        return RowRank(node.child, node.column, kept, kept_partition)
     # All ordering columns are constant: every row gets rank 1.
     return Attach(node.child, node.column, 1)
 
@@ -457,8 +462,12 @@ def rule_rank_pull_up(node: Operator, ctx: RuleContext) -> Optional[Operator]:
         return None
     if isinstance(node, (Attach, RowId)) and node.column == child.column:
         return None
+    if isinstance(node, (Select, Distinct)) and ctx.rank_compared_upstream(child):
+        # A positional selection upstream tests this rank's value; filtering
+        # or de-duplicating *before* ranking would renumber the rows it sees.
+        return None
     rebuilt = node.with_children([child.child])
-    return RowRank(rebuilt, child.column, child.order_by)
+    return RowRank(rebuilt, child.column, child.order_by, child.partition_by)
 
 
 def rule_rank_pull_up_project(node: Operator, ctx: RuleContext) -> Optional[Operator]:
@@ -473,39 +482,57 @@ def rule_rank_pull_up_project(node: Operator, ctx: RuleContext) -> Optional[Oper
         return None
     rank_name = rank_items[0][0]
     other_items = [(new, old) for new, old in node.items if old != child.column]
-    # The ordering columns must survive the projection (possibly renamed).
-    order_by: list[str] = []
+    # The ordering and partition columns must survive the projection
+    # (possibly renamed).
     extended_items = list(other_items)
-    for column in child.order_by:
-        renamed = next((new for new, old in other_items if old == column), None)
-        if renamed is None:
-            if column in {new for new, _old in extended_items} or column == rank_name:
-                return None
-            extended_items.append((column, column))
-            renamed = column
-        order_by.append(renamed)
+
+    def thread(columns: tuple[str, ...]) -> Optional[list[str]]:
+        renamed_columns: list[str] = []
+        for column in columns:
+            renamed = next((new for new, old in extended_items if old == column), None)
+            if renamed is None:
+                if column in {new for new, _old in extended_items} or column == rank_name:
+                    return None
+                extended_items.append((column, column))
+                renamed = column
+            renamed_columns.append(renamed)
+        return renamed_columns
+
+    order_by = thread(child.order_by)
+    if order_by is None:
+        return None
+    partition_by = thread(child.partition_by)
+    if partition_by is None:
+        return None
     if not extended_items:
         return None
     projected = Project(child.child, extended_items)
-    return RowRank(projected, rank_name, tuple(order_by))
+    return RowRank(projected, rank_name, tuple(order_by), tuple(partition_by))
 
 
 def rule_rank_splice(node: Operator, ctx: RuleContext) -> Optional[Operator]:
-    """(17)  merge the ordering criteria of two adjacent ϱ operators."""
+    """(17)  merge the ordering criteria of two adjacent ϱ operators.
+
+    A partitioned child rank expands into its partition columns followed by
+    its ordering columns: whenever the outer criteria preceding the child
+    rank pin one partition (the FOR/DDO compilation shapes), ordering by
+    ⟨partition, order⟩ coincides with ordering by the rank value.
+    """
     if not isinstance(node, RowRank):
         return None
     child = node.child
     if not isinstance(child, RowRank) or child.column not in node.order_by:
         return None
+    expansion = tuple(child.partition_by) + tuple(child.order_by)
     new_order: list[str] = []
     for column in node.order_by:
         if column == child.column:
-            new_order.extend(c for c in child.order_by if c not in new_order)
+            new_order.extend(c for c in expansion if c not in new_order)
         elif column not in new_order:
             new_order.append(column)
     if tuple(new_order) == node.order_by:
         return None
-    return RowRank(child, node.column, tuple(new_order))
+    return RowRank(child, node.column, tuple(new_order), node.partition_by)
 
 
 # ---------------------------------------------------------------------------

@@ -69,16 +69,117 @@ def render_join_graph(graph: JoinGraph, join_order: Optional[Sequence[str]] = No
         f"{term.render()} AS {name}" for term, name in graph.select_items
     )
     lines = [f"SELECT {distinct}{select_list}"]
-    from_list = _render_from(graph.table_name, graph.aliases, join_order)
-    if graph.aliases:
+    excluded_aliases, excluded_conditions = _having_excluded(graph)
+    outer_aliases = [
+        alias for index, alias in enumerate(graph.aliases) if index not in excluded_aliases
+    ]
+    from_list = _render_from(graph.table_name, outer_aliases, join_order)
+    where_parts = [
+        condition.render()
+        for index, condition in enumerate(graph.conditions)
+        if index not in excluded_conditions
+    ]
+    for position, window in enumerate(graph.windows, start=1):
+        wt = f"w{position}"
+        derived = _render_window_table(graph, window.spec, join_order)
+        joiner = "\n     CROSS JOIN " if join_order is not None else ",\n     "
+        addition = f"({_indent(derived)}) AS {wt}"
+        from_list = f"{from_list}{joiner}{addition}" if from_list else addition
+        for key_index, term in enumerate(window.spec.key_terms()):
+            where_parts.append(f"{wt}.k{key_index} = {term.render()}")
+        where_parts.append(f"{wt}.rnk {window.op} {window.value.render()}")
+    for having in graph.having:
+        subquery = _render_having_subquery(graph, having, join_order)
+        where_parts.append(f"({_indent(subquery)}) {having.op} {having.value.render()}")
+    if from_list:
         lines.append(f"FROM {from_list}")
-    if graph.conditions:
-        where = "\n  AND ".join(condition.render() for condition in graph.conditions)
-        lines.append(f"WHERE {where}")
+    if where_parts:
+        lines.append("WHERE " + "\n  AND ".join(where_parts))
     if graph.order_terms:
         order = ", ".join(term.render() for term in graph.order_terms)
         lines.append(f"ORDER BY {order}")
     return "\n".join(lines)
+
+
+def _indent(sql: str) -> str:
+    return sql.replace("\n", "\n  ")
+
+
+def _having_excluded(graph: JoinGraph) -> tuple[set, set]:
+    """Alias / condition indices owned by where-aggregate argument bundles."""
+    alias_indices: set = set()
+    condition_indices: set = set()
+    for having in graph.having:
+        alias_indices.update(range(having.spec.outer_alias_count, having.alias_count))
+        condition_indices.update(
+            range(having.spec.outer_condition_count, having.condition_count)
+        )
+    return alias_indices, condition_indices
+
+
+def _render_window_table(graph: JoinGraph, spec, join_order) -> str:
+    """One rank's window values over the rank's own scope.
+
+    ``DENSE_RANK() OVER (PARTITION BY ... ORDER BY ...)`` computed over the
+    alias/condition prefix the rank was emitted against — never over the
+    full SFW block, whose downstream join partners could eliminate context
+    rows and shift every rank.  The derived table is joined back to the
+    outer block on the window's (partition, order) key terms, which
+    uniquely determine one window value.
+
+    The prefix is pruned to the key terms' join closure by the shared
+    :meth:`WindowSpec.scope` helper (also used by the interpreted
+    engine's rank pass): disconnected prefix components are pure
+    multiplicative factors that DISTINCT would erase at cross-product
+    cost, and dropping them cannot change the join-back result.
+    """
+    key_items = [
+        f"{term.render()} AS k{index}" for index, term in enumerate(spec.key_terms())
+    ]
+    over = []
+    if spec.partition:
+        over.append("PARTITION BY " + ", ".join(term.render() for term in spec.partition))
+    over.append("ORDER BY " + ", ".join(term.render() for term in spec.order))
+    window = f"DENSE_RANK() OVER ({' '.join(over)}) AS rnk"
+    scope_aliases, scope_conditions = spec.scope(graph)
+    lines = ["SELECT DISTINCT " + ", ".join(key_items + [window])]
+    lines.append(f"FROM {_render_from(graph.table_name, scope_aliases, join_order)}")
+    if scope_conditions:
+        lines.append(
+            "WHERE " + "\n  AND ".join(condition.render() for condition in scope_conditions)
+        )
+    return "\n".join(lines)
+
+
+def _render_having_subquery(graph: JoinGraph, having, join_order) -> str:
+    """A where-aggregate as a correlated scalar subquery (grouped HAVING form).
+
+    The argument bundle's aliases/conditions render inside the subquery
+    (correlated to the outer block through the conditions that mention
+    outer aliases); the native aggregate runs over the DISTINCT
+    ``(group, unit[, value])`` rows.  The scalar shape — no GROUP BY —
+    returns exactly one row even for an empty argument, which is what
+    keeps ``fn:count(...) = 0`` (the ``empty()`` desugaring) satisfiable.
+    """
+    spec = having.spec
+    inner_aliases = graph.aliases[spec.outer_alias_count : having.alias_count]
+    inner_conditions = graph.conditions[
+        spec.outer_condition_count : having.condition_count
+    ]
+    items, _count_column, _value_column = aggregate_inner_items(spec)
+    select = ", ".join(f"{term.render()} AS {name}" for term, name in items)
+    inner_lines = [f"SELECT DISTINCT {select}"]
+    if inner_aliases:
+        inner_lines.append(
+            f"FROM {_render_from(graph.table_name, inner_aliases, join_order)}"
+        )
+    if inner_conditions:
+        inner_lines.append(
+            "WHERE " + "\n  AND ".join(condition.render() for condition in inner_conditions)
+        )
+    inner_sql = "\n".join(inner_lines)
+    aggregate = _aggregate_expression(spec, "h")
+    return f"SELECT {aggregate}\nFROM ({_indent(inner_sql)}) AS h"
 
 
 def _render_from(
@@ -284,8 +385,11 @@ def _render_operator(node: Operator, name_of, table_name: str) -> str:
         )
     if isinstance(node, RowRank):
         order = ", ".join(node.order_by)
+        partition = ""
+        if node.partition_by:
+            partition = f"PARTITION BY {', '.join(node.partition_by)} "
         return (
-            f"SELECT *, RANK() OVER (ORDER BY {order}) AS {node.column} "
+            f"SELECT *, RANK() OVER ({partition}ORDER BY {order}) AS {node.column} "
             f"FROM {name_of(node.child)}"
         )
     if isinstance(node, Join):

@@ -52,9 +52,15 @@ from repro.sqlbackend.backend import SQLiteBackend, SQLResult
 from repro.sqlbackend.decode import first_occurrence_items, ordered_items, sequence_items
 from repro.xmldb.encoding import DocumentEncoding
 from repro.xquery.ast import (
+    Aggregate,
     Expression,
     ExternalVariable,
+    ForExpr,
+    IfExpr,
+    LetExpr,
+    NumberLiteral,
     QueryModule,
+    StringLiteral,
     check_bindings,
     render,
 )
@@ -110,6 +116,12 @@ class CompilationResult:
     #: External variables the query declares; their values arrive as
     #: ``bindings`` at execution time (empty for ad-hoc queries).
     external_variables: tuple[ExternalVariable, ...] = ()
+    #: True when the query's return position produces *values* (aggregates
+    #: or literals), not nodes.  Node sequences are deduplicated at decode
+    #: time (the set discipline ``fs:ddo`` established); value sequences
+    #: keep one item per iteration — two iterations may legitimately
+    #: produce the same count or sum.
+    value_result: bool = False
     #: Lazily rendered join-graph SQL for the RDBMS backend: the Fig. 8/9
     #: block with an explicit CROSS JOIN order (see :func:`sql_backend_sql`).
     #: Memoized as ``(stats key, sql)`` so prepared queries re-execute
@@ -129,6 +141,19 @@ class CompilationResult:
     def parameter_names(self) -> tuple[str, ...]:
         """Names of the declared external variables, in declaration order."""
         return tuple(declaration.name for declaration in self.external_variables)
+
+    @property
+    def auto_engine(self) -> str:
+        """The engine the ``"auto"`` configuration dispatches to.
+
+        The decision is made *once*, when this result is built: extraction
+        either produced a join graph or recorded its refusal in
+        :attr:`join_graph_error`.  Because the result lives in the plan
+        cache, repeated auto-mode executions of a refused query re-read
+        this flag — they never re-run isolation or extraction (asserted by
+        ``tests/core/test_plan_cache.py`` via the cache counters).
+        """
+        return "join-graph" if self.join_graph is not None else "stacked"
 
 
 @dataclass
@@ -313,6 +338,25 @@ class CompilationPipeline:
             core = self.normalize.run(module)
         return KeyedSource(source=source, module=module, core=core, timings=timings)
 
+    @staticmethod
+    def returns_values(core: Expression) -> bool:
+        """Whether the return position of ``core`` yields values, not nodes.
+
+        Walks the FLWOR spine (``for``/``let`` bodies, conditional then
+        branches) to the expression that produces the result items.  An
+        aggregate or literal there makes the item column a per-iteration
+        *value* — the decode step must keep duplicates.  Everything else
+        (paths, variables, position filters) yields nodes, which follow the
+        deduplicating set discipline.
+        """
+        while True:
+            if isinstance(core, (ForExpr, LetExpr)):
+                core = core.body
+            elif isinstance(core, IfExpr):
+                core = core.then_branch
+            else:
+                return isinstance(core, (Aggregate, NumberLiteral, StringLiteral))
+
     def build(self, keyed: KeyedSource) -> CompilationResult:
         """Run the expensive back half and assemble the result."""
         timings = dict(keyed.timings)
@@ -335,6 +379,7 @@ class CompilationPipeline:
             stacked_sql=stacked_sql,
             join_graph_error=join_graph_error,
             external_variables=keyed.module.externals,
+            value_result=self.returns_values(keyed.core),
             timings=timings,
         )
 
@@ -444,7 +489,9 @@ def _run_interpreted(
     with _timed(timings, "execute"):
         table = interpreter.evaluate(plan)
     with _timed(timings, "decode"):
-        items = sequence_items(table.columns, table.rows)
+        items = sequence_items(
+            table.columns, table.rows, distinct=not compilation.value_result
+        )
     return ExecutionOutcome(
         items=items,
         configuration=configuration,
@@ -475,7 +522,9 @@ def run_join_graph(
             bindings=values or None,
         )
     with _timed(timings, "decode"):
-        items = first_occurrence_items(result.items())
+        items = first_occurrence_items(
+            result.items(), distinct=not compilation.value_result
+        )
     return ExecutionOutcome(
         items=items,
         configuration="join-graph",
@@ -514,7 +563,9 @@ def run_sql(
             sql, bindings=values or None, timeout_seconds=timeout_seconds
         )
     with _timed(timings, "decode"):
-        items = ordered_items(result.columns, result.rows)
+        items = ordered_items(
+            result.columns, result.rows, distinct=not compilation.value_result
+        )
     return ExecutionOutcome(
         items=items, configuration="sql", details=result, timings=timings
     )
@@ -541,7 +592,9 @@ def run_sql_stacked(
             timeout_seconds=timeout_seconds,
         )
     with _timed(timings, "decode"):
-        items = sequence_items(result.columns, result.rows)
+        items = sequence_items(
+            result.columns, result.rows, distinct=not compilation.value_result
+        )
     return ExecutionOutcome(
         items=items, configuration="sql-stacked", details=result, timings=timings
     )
@@ -554,8 +607,14 @@ def run_auto(
     bindings: Optional[Mapping[str, object]] = None,
     timings: Optional[StageTimings] = None,
 ) -> ExecutionOutcome:
-    """Join graph when one was isolated, else the stacked plan."""
-    if compilation.join_graph is not None:
+    """Join graph when one was isolated, else the stacked plan.
+
+    Dispatches on :attr:`CompilationResult.auto_engine` — a flag computed
+    at build time and cached with the plan, so an auto-mode caller pays
+    for isolation exactly once per plan-cache key no matter how often a
+    refused query is re-executed.
+    """
+    if compilation.auto_engine == "join-graph":
         return run_join_graph(compilation, context, timeout_seconds, bindings, timings)
     return run_stacked(compilation, context, timeout_seconds, bindings, timings)
 

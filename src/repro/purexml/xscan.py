@@ -103,12 +103,28 @@ class XScan:
             return [sum(values) / len(values)] if values else []  # avg(()) = ()
         if isinstance(expr, ast.ForExpr):
             sequence = self.evaluate(expr.sequence, env)
+            if expr.order_key is not None:
+                return self._ordered_for(expr, sequence, env)
             result = []
             for item in sequence:
                 inner = dict(env)
                 inner[expr.var] = [item]
                 result.extend(self.evaluate(expr.body, inner))
             return result
+        if isinstance(expr, ast.Exists):
+            return [len(self.evaluate(expr.argument, env)) > 0]
+        if isinstance(expr, ast.Empty):
+            return [len(self.evaluate(expr.argument, env)) == 0]
+        if isinstance(expr, ast.Quantified):
+            sequence = self.evaluate(expr.sequence, env)
+            verdicts = []
+            for item in sequence:
+                inner = dict(env)
+                inner[expr.var] = [item]
+                verdicts.append(self._boolean(expr.predicate, inner, None))
+            if expr.quantifier == "some":
+                return [any(verdicts)]
+            return [all(verdicts)]
         if isinstance(expr, ast.LetExpr):
             inner = dict(env)
             inner[expr.var] = self.evaluate(expr.value, env)
@@ -131,6 +147,32 @@ class XScan:
         raise PureXMLError(f"cannot evaluate AST node {type(expr).__name__}")
 
     # -- helpers -----------------------------------------------------------------------
+
+    def _ordered_for(self, expr: ast.ForExpr, sequence: list, env: dict[str, list]) -> list:
+        """``for ... order by K``: bindings sorted by key string value.
+
+        Mirrors the relational ORD rule exactly — each binding contributes
+        once per key node (the supported contract is a single existent
+        string-valued key, under which this is a plain stable sort), keys
+        compare as strings ascending, and binding order breaks ties.
+        Bindings whose key sequence is empty contribute nothing (the inner
+        key join drops them).
+        """
+        keyed: list[tuple[str, int, list]] = []
+        for position, item in enumerate(sequence):
+            inner = dict(env)
+            inner[expr.var] = [item]
+            keys = self._atomize(self.evaluate(expr.order_key, inner))
+            if not keys:
+                continue
+            body = self.evaluate(expr.body, inner)
+            for key in keys:
+                keyed.append((str(key), position, body))
+        keyed.sort(key=lambda entry: (entry[0], entry[1]))
+        result: list = []
+        for _, _, body in keyed:
+            result.extend(body)
+        return result
 
     def _step(self, node: XMLNode, axis: str, node_test: str) -> list[XMLNode]:
         from repro.xmldb.infoset import NodeKind
@@ -274,6 +316,19 @@ def _replace_context(expr: ast.Expression) -> ast.Expression:
         return ast.Comparison(_replace_context(expr.left), expr.op, _replace_context(expr.right))
     if isinstance(expr, ast.AndExpr):
         return ast.AndExpr(_replace_context(expr.left), _replace_context(expr.right))
+    if isinstance(expr, ast.Aggregate):
+        return ast.Aggregate(expr.function, _replace_context(expr.argument))
+    if isinstance(expr, ast.Exists):
+        return ast.Exists(_replace_context(expr.argument))
+    if isinstance(expr, ast.Empty):
+        return ast.Empty(_replace_context(expr.argument))
+    if isinstance(expr, ast.Quantified):
+        return ast.Quantified(
+            expr.quantifier,
+            expr.var,
+            _replace_context(expr.sequence),
+            _replace_context(expr.predicate),
+        )
     return expr
 
 

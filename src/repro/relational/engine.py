@@ -26,11 +26,36 @@ from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from repro.errors import PlanningError
-from repro.core.joingraph import JoinGraph, PlanTail
-from repro.core.sqlgen import aggregate_inner_items
+from repro.algebra.table import _sort_key
+from repro.core.joingraph import ConstantTerm, JoinGraph, PlanTail
+from repro.core.sqlgen import aggregate_inner_items, _having_excluded
 from repro.relational.catalog import Database
 from repro.relational.optimizer.planner import PlannedQuery, Planner
 from repro.relational.physical.operators import ExecutionContext
+
+
+def _constant_value(term) -> object:
+    """The bound comparison value of a window / HAVING filter."""
+    if isinstance(term, ConstantTerm):
+        return term.value
+    raise PlanningError(f"filter value {term!r} is not bound to a constant")
+
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _compare(actual: object, op: str, value: object) -> bool:
+    """SQL comparison semantics: any comparison against NULL is not-true."""
+    if actual is None or value is None:
+        return False
+    return _COMPARATORS[op](actual, value)
 
 
 @dataclass
@@ -108,6 +133,8 @@ class RelationalEngine:
         resolved = self._resolve(graph, bindings)
         if resolved.aggregate is not None:
             return self._execute_aggregate(resolved, timeout_seconds)
+        if resolved.windows or resolved.having:
+            return self._execute_filtered(resolved, timeout_seconds)
         planned = self.planner.plan(resolved)
         ctx = ExecutionContext(timeout_seconds)
         rows = list(planned.root.results(ctx))
@@ -117,6 +144,179 @@ class RelationalEngine:
             rows_scanned=ctx.rows_scanned,
             index_probes=ctx.index_probes,
         )
+
+    # -- windowed / having graphs --------------------------------------------------
+
+    def _execute_filtered(
+        self, graph: JoinGraph, timeout_seconds: Optional[float]
+    ) -> QueryResult:
+        """Execute a graph carrying window (positional) or HAVING filters.
+
+        Mirrors the SQL rendering: the *main* block runs without the
+        aggregates' argument bundles, with hidden output columns for each
+        filter's key terms; every window's dense ranks are computed over
+        the window's own alias/condition scope, every where-aggregate is
+        folded over its argument bundle, and rows are filtered in order.
+        """
+        excluded_aliases, excluded_conditions = _having_excluded(graph)
+        select_items = list(graph.select_items)
+        hidden: list[tuple] = []  # (kind, index, names...)
+        for w_index, window in enumerate(graph.windows):
+            names = []
+            for k_index, term in enumerate(window.spec.key_terms()):
+                name = f"_w{w_index}k{k_index}"
+                select_items.append((term, name))
+                names.append(name)
+            hidden.append(("window", w_index, names))
+        for h_index, having in enumerate(graph.having):
+            name = f"_h{h_index}g"
+            select_items.append((having.spec.group, name))
+            hidden.append(("having", h_index, [name]))
+        main_graph = JoinGraph(
+            aliases=[
+                alias
+                for index, alias in enumerate(graph.aliases)
+                if index not in excluded_aliases
+            ],
+            table_name=graph.table_name,
+            conditions=[
+                condition
+                for index, condition in enumerate(graph.conditions)
+                if index not in excluded_conditions
+            ],
+            select_items=select_items,
+            order_terms=list(graph.order_terms),
+            distinct=graph.distinct,
+            tail=graph.tail,
+        )
+        planned = self.planner.plan(main_graph)
+        ctx = ExecutionContext(timeout_seconds)
+        rows = list(planned.root.results(ctx))
+        scanned, probes = ctx.rows_scanned, ctx.index_probes
+
+        rank_maps: list[dict[tuple, int]] = []
+        for window in graph.windows:
+            ranks, w_scanned, w_probes = self._window_ranks(graph, window.spec, timeout_seconds)
+            rank_maps.append(ranks)
+            scanned += w_scanned
+            probes += w_probes
+        having_maps: list[dict[object, object]] = []
+        for having in graph.having:
+            folded, h_scanned, h_probes = self._having_values(
+                graph, having, excluded_aliases, excluded_conditions, timeout_seconds
+            )
+            having_maps.append(folded)
+            scanned += h_scanned
+            probes += h_probes
+
+        kept: list[dict[str, object]] = []
+        for row in rows:
+            ok = True
+            for kind, index, names in hidden:
+                if kind == "window":
+                    window = graph.windows[index]
+                    key = tuple(row[name] for name in names)
+                    actual = rank_maps[index].get(key)
+                else:
+                    having = graph.having[index]
+                    actual = having_maps[index].get(
+                        row[names[0]], 0 if having.spec.function != "avg" else None
+                    )
+                    window = having
+                if not _compare(actual, window.op, _constant_value(window.value)):
+                    ok = False
+                    break
+            if ok:
+                kept.append({k: v for k, v in row.items() if not k.startswith("_")})
+        return QueryResult(rows=kept, plan=planned, rows_scanned=scanned, index_probes=probes)
+
+    def _window_ranks(
+        self, graph: JoinGraph, spec, timeout_seconds: Optional[float]
+    ) -> tuple[dict[tuple, int], int, int]:
+        """Dense ranks over the window's scope, keyed by (partition, order).
+
+        The scope is the key terms' join closure within the rank's prefix
+        (:meth:`WindowSpec.scope`, shared with the SQL rendering), so
+        disconnected prefix components never blow up the rank pass."""
+        key_terms = spec.key_terms()
+        select_items = [(term, f"k{index}") for index, term in enumerate(key_terms)]
+        scope_aliases, scope_conditions = spec.scope(graph)
+        scope_graph = JoinGraph(
+            aliases=scope_aliases,
+            table_name=graph.table_name,
+            conditions=scope_conditions,
+            select_items=select_items,
+            order_terms=[],
+            distinct=True,
+            tail=PlanTail(distinct=True, order_terms=[], output_column="k0"),
+        )
+        planned = self.planner.plan(scope_graph)
+        ctx = ExecutionContext(timeout_seconds)
+        partition_width = len(spec.partition)
+        partitions: dict[tuple, set[tuple]] = {}
+        for row in planned.root.results(ctx):
+            key = tuple(row[f"k{index}"] for index in range(len(key_terms)))
+            partitions.setdefault(key[:partition_width], set()).add(key[partition_width:])
+        ranks: dict[tuple, int] = {}
+        for partition_key, order_keys in partitions.items():
+            for rank, order_key in enumerate(sorted(order_keys, key=_sort_key), start=1):
+                ranks[partition_key + order_key] = rank
+        return ranks, ctx.rows_scanned, ctx.index_probes
+
+    def _having_values(
+        self,
+        graph: JoinGraph,
+        having,
+        excluded_aliases: set,
+        excluded_conditions: set,
+        timeout_seconds: Optional[float],
+    ) -> tuple[dict[object, object], int, int]:
+        """Fold one where-aggregate's argument bundle per group value.
+
+        The bundle graph covers the aggregate's outer prefix (minus any
+        *other* where-aggregate's argument ranges) plus its own inner
+        range, so correlations to the loop aliases resolve while sibling
+        aggregates stay out of each other's way.
+        """
+        spec = having.spec
+        own_aliases = set(range(spec.outer_alias_count, having.alias_count))
+        own_conditions = set(range(spec.outer_condition_count, having.condition_count))
+        alias_indices = [
+            index
+            for index in range(having.alias_count)
+            if index in own_aliases or index not in excluded_aliases
+        ]
+        condition_indices = [
+            index
+            for index in range(having.condition_count)
+            if index in own_conditions or index not in excluded_conditions
+        ]
+        items, _count_column, value_column = aggregate_inner_items(spec)
+        bundle = JoinGraph(
+            aliases=[graph.aliases[index] for index in alias_indices],
+            table_name=graph.table_name,
+            conditions=[graph.conditions[index] for index in condition_indices],
+            select_items=list(items),
+            order_terms=[],
+            distinct=True,  # the aggregate owns its (group, unit, value) dedup
+            tail=PlanTail(distinct=True, order_terms=[], output_column="g"),
+        )
+        planned = self.planner.plan(bundle)
+        ctx = ExecutionContext(timeout_seconds)
+        groups: dict[object, list[dict[str, object]]] = {}
+        for row in planned.root.results(ctx):
+            groups.setdefault(row["g"], []).append(row)
+        folded: dict[object, object] = {}
+        for group, rows in groups.items():
+            if spec.function == "count":
+                folded[group] = len(rows)
+                continue
+            values = [row[value_column] for row in rows if row[value_column] is not None]
+            if spec.function == "sum":
+                folded[group] = sum(values) if values else 0
+            else:
+                folded[group] = sum(values) / len(values) if values else None
+        return folded, ctx.rows_scanned, ctx.index_probes
 
     # -- aggregate graphs ---------------------------------------------------------
 

@@ -33,12 +33,21 @@ def _sortable(value: object) -> tuple:
     return (2, str(value))
 
 
-def sequence_items(columns: Sequence[str], rows: Sequence[Sequence[object]]) -> list:
+def sequence_items(
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    distinct: bool = True,
+) -> list:
     """Decode a raw result table into the pre-rank item sequence.
 
     Rows are ordered by (``pos``, ``item``) when a ``pos`` column is
     present (the compiler's sequence-position bookkeeping), then duplicate
     ``item`` values are dropped keeping first occurrences.
+
+    ``distinct=False`` keeps duplicates: the item column of a *value*
+    result (an aggregate or literal in the FLWOR return clause) carries one
+    value per iteration, and two iterations may legitimately produce the
+    same value — dedup is only the node-sequence discipline.
     """
     item_index = list(columns).index("item")
     pos_index = list(columns).index("pos") if "pos" in columns else None
@@ -47,6 +56,8 @@ def sequence_items(columns: Sequence[str], rows: Sequence[Sequence[object]]) -> 
             rows,
             key=lambda row: (_sortable(row[pos_index]), _sortable(row[item_index])),
         )
+    if not distinct:
+        return [row[item_index] for row in rows if row[item_index] is not None]
     seen: set[object] = set()
     items: list = []
     for row in rows:
@@ -58,7 +69,11 @@ def sequence_items(columns: Sequence[str], rows: Sequence[Sequence[object]]) -> 
     return items
 
 
-def ordered_items(columns: Sequence[str], rows: Sequence[Sequence[object]]) -> list:
+def ordered_items(
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    distinct: bool = True,
+) -> list:
     """Project the ``item`` column of an already ordered/distinct result.
 
     The join-graph SFW block made the RDBMS enforce ``DISTINCT`` (over the
@@ -72,16 +87,22 @@ def ordered_items(columns: Sequence[str], rows: Sequence[Sequence[object]]) -> l
     (``fn:avg`` over an empty sequence).
     """
     item_index = list(columns).index("item")
-    return first_occurrence_items(row[item_index] for row in rows)
+    return first_occurrence_items(
+        (row[item_index] for row in rows), distinct=distinct
+    )
 
 
-def first_occurrence_items(values) -> list:
+def first_occurrence_items(values, distinct: bool = True) -> list:
     """Keep the first occurrence of each non-NULL item, preserving order.
 
     Shared by :func:`ordered_items` (the RDBMS path) and the interpreted
     join-graph decode in :mod:`repro.core.stages`, so the two tails cannot
-    drift apart.
+    drift apart.  ``distinct=False`` keeps every non-NULL value in row
+    order — the discipline for *value* results, whose per-iteration
+    aggregate values may legitimately repeat.
     """
+    if not distinct:
+        return [value for value in values if value is not None]
     seen: set[object] = set()
     items: list = []
     for value in values:

@@ -154,11 +154,19 @@ class Filter(Expression):
 
 @dataclass(frozen=True)
 class ForExpr(Expression):
-    """``for $var in sequence return body`` (one variable per node)."""
+    """``for $var in sequence (order by order_key)? return body``.
+
+    ``order_key`` (when set) reorders the loop's contributions by the string
+    value of the key expression, ascending, ties broken by binding order —
+    the supported ``order by`` subset.  The key is evaluated once per
+    binding; the supported contract is a single existent string-valued key
+    (a text or attribute node) per binding.
+    """
 
     var: str
     sequence: Expression
     body: Expression
+    order_key: Optional[Expression] = None
 
 
 @dataclass(frozen=True)
@@ -233,6 +241,48 @@ class Aggregate(Expression):
 
 
 @dataclass(frozen=True)
+class Exists(Expression):
+    """``fn:exists(argument)`` — true iff the argument sequence is non-empty.
+
+    Surface form only; valid in condition position, where normalization
+    turns it into the plain existence test (the effective boolean value of
+    the argument).
+    """
+
+    argument: Expression
+
+
+@dataclass(frozen=True)
+class Empty(Expression):
+    """``fn:empty(argument)`` — true iff the argument sequence is empty.
+
+    Surface form only; normalization desugars it into the aggregate
+    comparison ``fn:count(argument) = 0``, which every engine already
+    evaluates (including over empty groups).
+    """
+
+    argument: Expression
+
+
+@dataclass(frozen=True)
+class Quantified(Expression):
+    """``some|every $var in sequence satisfies predicate`` (surface form only).
+
+    ``some`` desugars into the existence test of a filtered ``for`` nest;
+    ``every`` into ``fn:count(for $var in sequence where not(predicate)
+    return $var) = 0``, with ``not`` realized by negating the comparison
+    operator (exact for the fragment's single-valued comparisons — the
+    supported contract) or by the ``empty``/``exists`` duality for
+    existence predicates.
+    """
+
+    quantifier: str
+    var: str
+    sequence: Expression
+    predicate: Expression
+
+
+@dataclass(frozen=True)
 class FnBoolean(Expression):
     """``fn:boolean(argument)`` — effective boolean value (core form)."""
 
@@ -276,8 +326,9 @@ def render(expr: Expression, indent: int = 0) -> str:
     if isinstance(expr, Filter):
         return f"{render(expr.input)}[{render(expr.predicate)}]"
     if isinstance(expr, ForExpr):
+        ordering = f" order by {render(expr.order_key)}" if expr.order_key is not None else ""
         return (
-            f"for ${expr.var} in {render(expr.sequence)}\n"
+            f"for ${expr.var} in {render(expr.sequence)}{ordering}\n"
             f"{pad}return {render(expr.body, indent + 1)}"
         )
     if isinstance(expr, LetExpr):
@@ -300,6 +351,15 @@ def render(expr: Expression, indent: int = 0) -> str:
         return f"{render(expr.sequence)}[{position}]"
     if isinstance(expr, Aggregate):
         return f"fn:{expr.function}({render(expr.argument)})"
+    if isinstance(expr, Exists):
+        return f"fn:exists({render(expr.argument)})"
+    if isinstance(expr, Empty):
+        return f"fn:empty({render(expr.argument)})"
+    if isinstance(expr, Quantified):
+        return (
+            f"{expr.quantifier} ${expr.var} in {render(expr.sequence)} "
+            f"satisfies {render(expr.predicate)}"
+        )
     if isinstance(expr, FnBoolean):
         return f"fn:boolean({render(expr.argument)})"
     if isinstance(expr, FsDdo):
@@ -314,6 +374,8 @@ def child_expressions(expr: Expression) -> tuple[Expression, ...]:
     if isinstance(expr, Filter):
         return (expr.input, expr.predicate)
     if isinstance(expr, ForExpr):
+        if expr.order_key is not None:
+            return (expr.sequence, expr.body, expr.order_key)
         return (expr.sequence, expr.body)
     if isinstance(expr, LetExpr):
         return (expr.value, expr.body)
@@ -327,6 +389,10 @@ def child_expressions(expr: Expression) -> tuple[Expression, ...]:
         return (expr.sequence,)
     if isinstance(expr, Aggregate):
         return (expr.argument,)
+    if isinstance(expr, (Exists, Empty)):
+        return (expr.argument,)
+    if isinstance(expr, Quantified):
+        return (expr.sequence, expr.predicate)
     if isinstance(expr, FnBoolean):
         return (expr.argument,)
     if isinstance(expr, FsDdo):
@@ -426,6 +492,9 @@ def rewrite_variables(
             expr.var,
             rewrite_variables(expr.sequence, rewrite, shadowed),
             rewrite_variables(expr.body, rewrite, shadowed | {expr.var}),
+            rewrite_variables(expr.order_key, rewrite, shadowed | {expr.var})
+            if expr.order_key is not None
+            else None,
         )
     if isinstance(expr, LetExpr):
         return LetExpr(
@@ -457,6 +526,17 @@ def rewrite_variables(
         )
     if isinstance(expr, Aggregate):
         return Aggregate(expr.function, rewrite_variables(expr.argument, rewrite, shadowed))
+    if isinstance(expr, Exists):
+        return Exists(rewrite_variables(expr.argument, rewrite, shadowed))
+    if isinstance(expr, Empty):
+        return Empty(rewrite_variables(expr.argument, rewrite, shadowed))
+    if isinstance(expr, Quantified):
+        return Quantified(
+            expr.quantifier,
+            expr.var,
+            rewrite_variables(expr.sequence, rewrite, shadowed),
+            rewrite_variables(expr.predicate, rewrite, shadowed | {expr.var}),
+        )
     if isinstance(expr, FnBoolean):
         return FnBoolean(rewrite_variables(expr.argument, rewrite, shadowed))
     if isinstance(expr, FsDdo):

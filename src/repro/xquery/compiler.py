@@ -187,7 +187,7 @@ class LoopLiftingCompiler:
     ) -> Operator:
         q = self._compile(expr.argument, env, loop)
         projected = Project(q, [("iter", "iter"), ("item", "item")])
-        return RowRank(Distinct(projected), "pos", ("item",))
+        return RowRank(Distinct(projected), "pos", ("item",), ("iter",))
 
     # Rule STEP.
     def _compile_step(
@@ -210,7 +210,7 @@ class LoopLiftingCompiler:
         axis_predicate = self._axis_predicate(expr.axis, pre_ctx, size_ctx, level_ctx)
         step_join = Join(candidates, context, axis_predicate)
         projected = Project(step_join, [("iter", "iter"), ("item", "pre")])
-        return RowRank(projected, "pos", ("item",))
+        return RowRank(projected, "pos", ("item",), ("iter",))
 
     def _axis_predicate(
         self, axis: str, pre_ctx: str, size_ctx: str, level_ctx: str
@@ -281,10 +281,30 @@ class LoopLiftingCompiler:
         )
         new_loop = Project(loop_map, [("iter", inner)])
         q_body = self._compile(expr.body, new_env, new_loop)
-        joined = Join(
+        joined: Operator = Join(
             q_body, loop_map, Predicate.of(AlgComparison(ColumnRef("iter"), "=", ColumnRef(inner)))
         )
-        ranked = RowRank(joined, pos1, (sort, "pos"))
+        order_by: tuple[str, ...] = (sort, "pos")
+        if expr.order_key is not None:
+            # ORD: the key plan maps each binding (iter = inner) to the
+            # string value of its key node; ranking by ⟨key, sort, pos⟩
+            # instead of ⟨sort, pos⟩ reorders the loop's contributions by
+            # key value ascending, binding order as tiebreak.  The inner
+            # key join also drops bindings without a key — the supported
+            # contract is one existent string-valued key per binding.
+            key_col, key_iter = f"okey{suffix}", f"oiter{suffix}"
+            q_key = self._compile(expr.order_key, new_env, new_loop)
+            key_map = Project(
+                Join(self.doc, q_key, Predicate.equality("pre", "item")),
+                [(key_iter, "iter"), (key_col, "value")],
+            )
+            joined = Join(
+                joined,
+                key_map,
+                Predicate.of(AlgComparison(ColumnRef("iter"), "=", ColumnRef(key_iter))),
+            )
+            order_by = (key_col, sort, "pos")
+        ranked = RowRank(joined, pos1, order_by, (outer,))
         return Project(ranked, [("iter", outer), ("pos", pos1), ("item", "item")])
 
     # Rule LET (extension, Section III-C).

@@ -34,7 +34,9 @@ from repro.xquery.ast import (
     Comparison,
     ContextItem,
     Doc,
+    Empty,
     EmptySequence,
+    Exists,
     Expression,
     ExternalVar,
     Filter,
@@ -45,11 +47,18 @@ from repro.xquery.ast import (
     LetExpr,
     NumberLiteral,
     PositionFilter,
+    Quantified,
     Root,
     Step,
     StringLiteral,
     VarRef,
 )
+
+#: Two-valued negation of the general comparison operators, used to desugar
+#: ``every`` (exact for single-valued operands — the supported contract;
+#: over multi-valued operands general-comparison negation is not the
+#: operator complement).
+_NEGATED_COMPARISON = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
 
 
 @dataclass
@@ -79,7 +88,12 @@ def _norm(expr: Expression, state: _NormalizerState) -> Expression:
     if isinstance(expr, Filter):
         return _norm_filter(expr, state)
     if isinstance(expr, ForExpr):
-        return ForExpr(expr.var, _norm(expr.sequence, state), _norm(expr.body, state))
+        return ForExpr(
+            expr.var,
+            _norm(expr.sequence, state),
+            _norm(expr.body, state),
+            _norm(expr.order_key, state) if expr.order_key is not None else None,
+        )
     if isinstance(expr, LetExpr):
         return LetExpr(expr.var, _norm(expr.value, state), _norm(expr.body, state))
     if isinstance(expr, IfExpr):
@@ -105,6 +119,16 @@ def _norm(expr: Expression, state: _NormalizerState) -> Expression:
         )
     if isinstance(expr, AndExpr):
         raise XQueryCompilationError("'and' may only appear in a condition position")
+    if isinstance(expr, (Exists, Empty, Quantified)):
+        name = {
+            Exists: "fn:exists",
+            Empty: "fn:empty",
+            Quantified: "a quantified expression",
+        }[type(expr)]
+        raise XQueryCompilationError(
+            f"{name} is only supported in condition position "
+            "(where clauses, if tests and predicates)"
+        )
     raise XQueryCompilationError(f"cannot normalize AST node {type(expr).__name__}")
 
 
@@ -144,6 +168,19 @@ def _norm_condition(condition: Expression, then_branch: Expression, state: _Norm
     if isinstance(condition, AndExpr):
         inner = _norm_condition(condition.right, then_branch, state)
         return _norm_condition(condition.left, inner, state)
+    if isinstance(condition, Exists):
+        # exists(E) in condition position IS the existence test on E.
+        return _norm_condition(condition.argument, then_branch, state)
+    if isinstance(condition, Empty):
+        # empty(E) ≡ count(E) = 0 — the aggregate comparison keeps empty
+        # iterations visible on every engine (Phase B's empty-group rule).
+        return _norm_condition(
+            Comparison(Aggregate("count", condition.argument), "=", NumberLiteral(0.0)),
+            then_branch,
+            state,
+        )
+    if isinstance(condition, Quantified):
+        return _norm_quantified(condition, then_branch, state)
     if isinstance(condition, Comparison):
         normalized = Comparison(
             _norm_comparison_operand(condition.left, state),
@@ -153,6 +190,58 @@ def _norm_condition(condition: Expression, then_branch: Expression, state: _Norm
         return IfExpr(FnBoolean(normalized), then_branch)
     # Existence test: a path / variable / doc expression.
     return IfExpr(FnBoolean(_norm(condition, state)), then_branch)
+
+
+def _norm_quantified(
+    condition: Quantified, then_branch: Expression, state: _NormalizerState
+) -> Expression:
+    """Desugar ``some``/``every`` into the fragment's own machinery.
+
+    ``some $x in E satisfies P`` is the existence test of the witness loop
+    ``for $x in E return if (P) then $x else ()`` (a semijoin after loop
+    lifting); ``every $x in E satisfies P`` counts the *violations* —
+    ``fn:count(for $x in E return if (not P) then $x else ()) = 0`` — an
+    anti-semijoin realized through the empty-group-preserving aggregate
+    comparison.
+    """
+    if condition.quantifier == "some":
+        witness = ForExpr(
+            condition.var,
+            condition.sequence,
+            IfExpr(condition.predicate, VarRef(condition.var)),
+        )
+        return IfExpr(FnBoolean(_norm(witness, state)), then_branch)
+    violations = ForExpr(
+        condition.var,
+        condition.sequence,
+        IfExpr(_negate_condition(condition.predicate), VarRef(condition.var)),
+    )
+    return _norm_condition(
+        Comparison(Aggregate("count", violations), "=", NumberLiteral(0.0)),
+        then_branch,
+        state,
+    )
+
+
+def _negate_condition(predicate: Expression) -> Expression:
+    """Negate a ``satisfies`` predicate for the ``every`` desugaring."""
+    if isinstance(predicate, Comparison):
+        return Comparison(
+            predicate.left, _NEGATED_COMPARISON[predicate.op], predicate.right
+        )
+    if isinstance(predicate, Exists):
+        return Empty(predicate.argument)
+    if isinstance(predicate, Empty):
+        return Exists(predicate.argument)
+    if isinstance(predicate, AndExpr):
+        raise XQueryCompilationError(
+            "'every' over a conjunction is not supported (its negation is a "
+            "disjunction, which is outside the fragment); split the quantifier"
+        )
+    if isinstance(predicate, Quantified):
+        raise XQueryCompilationError("nested quantified expressions are not supported")
+    # An existence-test predicate: every binding must yield something.
+    return Empty(predicate)
 
 
 def _norm_comparison_operand(expr: Expression, state: _NormalizerState) -> Expression:
@@ -193,7 +282,12 @@ def _replace_context(expr: Expression, replacement: Expression) -> Expression:
         )
     if isinstance(expr, ForExpr):
         return ForExpr(
-            expr.var, _replace_context(expr.sequence, replacement), _replace_context(expr.body, replacement)
+            expr.var,
+            _replace_context(expr.sequence, replacement),
+            _replace_context(expr.body, replacement),
+            _replace_context(expr.order_key, replacement)
+            if expr.order_key is not None
+            else None,
         )
     if isinstance(expr, LetExpr):
         return LetExpr(
@@ -206,4 +300,15 @@ def _replace_context(expr: Expression, replacement: Expression) -> Expression:
         )
     if isinstance(expr, Aggregate):
         return Aggregate(expr.function, _replace_context(expr.argument, replacement))
+    if isinstance(expr, Exists):
+        return Exists(_replace_context(expr.argument, replacement))
+    if isinstance(expr, Empty):
+        return Empty(_replace_context(expr.argument, replacement))
+    if isinstance(expr, Quantified):
+        return Quantified(
+            expr.quantifier,
+            expr.var,
+            _replace_context(expr.sequence, replacement),
+            _replace_context(expr.predicate, replacement),
+        )
     return expr

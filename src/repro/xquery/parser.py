@@ -24,7 +24,9 @@ from repro.xquery.ast import (
     Comparison,
     ContextItem,
     Doc,
+    Empty,
     EmptySequence,
+    Exists,
     EXTERNAL_XS_TYPES,
     Expression,
     ExternalVar,
@@ -35,6 +37,7 @@ from repro.xquery.ast import (
     IfExpr,
     LetExpr,
     NumberLiteral,
+    Quantified,
     QueryModule,
     Root,
     Step,
@@ -54,6 +57,14 @@ _AGGREGATE_NAMES = {
     name: function
     for function in AGGREGATE_FUNCTIONS
     for name in (function, f"fn:{function}")
+}
+
+#: Sequence tests, parsed with the same name-plus-``(`` lookahead as the
+#: aggregates (``exists``/``empty`` are also legal element names).
+_SEQUENCE_TESTS = {
+    name: node_type
+    for node_type in (Exists, Empty)
+    for name in (node_type.__name__.lower(), f"fn:{node_type.__name__.lower()}")
 }
 
 
@@ -96,6 +107,12 @@ class _Parser:
     def _peek_is_keyword(self, offset: int, text: str) -> bool:
         token = self.peek(offset)
         return token.type == "keyword" and token.text == text
+
+    def _peek_is_name(self, offset: int, text: str) -> bool:
+        """Contextual keywords (``order``, ``by``, ``satisfies``, ...) stay
+        plain names in the lexer so they remain legal element names."""
+        token = self.peek(offset)
+        return token.type == "name" and token.text == text
 
     def _expect_var_name_token(self) -> Token:
         """Variable names may collide with keywords (``$variable``, ``$as``, ...)."""
@@ -178,16 +195,51 @@ class _Parser:
         condition: Expression | None = None
         if self.accept("keyword", "where"):
             condition = self.parse_condition()
+        order_key = self._parse_order_by(bindings)
         self.expect("keyword", "return")
         body = self.parse_expr_single()
         if condition is not None:
             body = IfExpr(condition, body)
         for kind, var, expr in reversed(bindings):
             if kind == "for":
-                body = ForExpr(var, expr, body)
+                body = ForExpr(var, expr, body, order_key)
+                order_key = None
             else:
                 body = LetExpr(var, expr, body)
         return body
+
+    def _parse_order_by(self, bindings: list) -> Expression | None:
+        """Parse the supported ``order by`` subset: one ascending key."""
+        if not (self._peek_is_name(0, "order") and self._peek_is_name(1, "by")):
+            return None
+        order_token = self.advance()
+        self.advance()
+        for_count = sum(1 for kind, _, _ in bindings if kind == "for")
+        if for_count != 1:
+            raise XQuerySyntaxError(
+                "'order by' is supported for FLWORs with exactly one 'for' "
+                f"binding (this one has {for_count})",
+                order_token.position,
+            )
+        order_key = self.parse_path()
+        if self._peek_is_name(0, "descending"):
+            token = self.peek()
+            raise XQuerySyntaxError(
+                "descending order is not supported (ascending only)", token.position
+            )
+        if self._peek_is_name(0, "ascending"):
+            self.advance()
+        if self._peek_is_name(0, "empty"):
+            token = self.peek()
+            raise XQuerySyntaxError(
+                "'empty greatest/least' modifiers are not supported", token.position
+            )
+        if self.check(","):
+            token = self.peek()
+            raise XQuerySyntaxError(
+                "multiple 'order by' keys are not supported", token.position
+            )
+        return order_key
 
     def _parse_binding(self, error_hint: str, separator: str) -> tuple[str, Expression]:
         self.expect("$")
@@ -223,7 +275,36 @@ class _Parser:
         if self.check("keyword", "or"):
             token = self.peek()
             raise XQuerySyntaxError("'or' is not part of the supported fragment", token.position)
+        token = self.peek()
+        if (
+            token.type == "name"
+            and token.text in ("some", "every")
+            and self.peek(1).type == "$"
+        ):
+            return self.parse_quantified()
         return self.parse_comparison()
+
+    def parse_quantified(self) -> Expression:
+        """``some|every $var in sequence satisfies predicate`` (one binding)."""
+        quantifier = self.advance().text
+        self.expect("$")
+        var = self._expect_var_name_token().text
+        self.expect("keyword", "in")
+        sequence = self.parse_path()
+        if self.check(","):
+            token = self.peek()
+            raise XQuerySyntaxError(
+                "quantified expressions support a single variable binding", token.position
+            )
+        if not self._peek_is_name(0, "satisfies"):
+            token = self.peek()
+            raise XQuerySyntaxError(
+                f"expected 'satisfies' but found {token.text or token.type!r}",
+                token.position,
+            )
+        self.advance()
+        predicate = self.parse_condition()
+        return Quantified(quantifier, var, sequence, predicate)
 
     def parse_comparison(self) -> Expression:
         left = self.parse_path()
@@ -297,6 +378,16 @@ class _Parser:
             argument = self.parse_expr_single()
             self.expect(")")
             return Aggregate(_AGGREGATE_NAMES[token.text], argument)
+        if (
+            token.type == "name"
+            and token.text in _SEQUENCE_TESTS
+            and self.peek(1).type == "("
+        ):
+            self.advance()
+            self.expect("(")
+            argument = self.parse_expr_single()
+            self.expect(")")
+            return _SEQUENCE_TESTS[token.text](argument)
         if self.accept("$"):
             return VarRef(self._expect_var_name_token().text)
         if self.accept("."):

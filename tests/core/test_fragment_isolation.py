@@ -85,19 +85,31 @@ def test_aggregate_join_order_pins_both_scopes():
     assert "CROSS JOIN" in sql
 
 
-def test_positional_predicate_does_not_extract():
+def test_positional_predicate_extracts_as_window():
     """The rank-compared guard keeps rule (12) from rewriting the position
-    rank away; the surviving rank column then (correctly) defeats
-    extraction instead of silently selecting by node identity."""
-    with pytest.raises(JoinGraphError):
-        extract_join_graph(_isolated('doc("t.xml")/descendant::b[2]'))
+    rank away; the surviving compared rank now extracts as a windowed
+    dense-rank condition instead of defeating extraction."""
+    graph = extract_join_graph(_isolated('doc("t.xml")/descendant::b[2]'))
+    assert len(graph.windows) == 1
+    window = graph.windows[0]
+    assert window.op == "="
+    assert window.value.value == 2
+    sql = render_join_graph(graph)
+    assert "DENSE_RANK() OVER" in sql
+    assert ".rnk = 2" in sql
 
 
-def test_aggregate_inside_a_condition_does_not_extract():
-    with pytest.raises(JoinGraphError):
-        extract_join_graph(
-            _isolated(
-                'for $a in doc("t.xml")/descendant::a '
-                "where count($a/child::b) > 1 return $a"
-            )
+def test_aggregate_inside_a_condition_extracts_as_having():
+    graph = extract_join_graph(
+        _isolated(
+            'for $a in doc("t.xml")/descendant::a '
+            "where count($a/child::b) > 1 return $a"
         )
+    )
+    assert len(graph.having) == 1
+    having = graph.having[0]
+    assert having.op == ">"
+    assert having.value.value == 1
+    sql = render_join_graph(graph)
+    assert "COUNT(" in sql
+    assert ") > 1" in sql

@@ -43,6 +43,55 @@ def test_source_formatting_does_not_miss(processor):
     assert variant is first
 
 
+def test_auto_fallback_decision_is_cached(processor, monkeypatch):
+    """Auto-mode refusals are decided once per plan-cache key.
+
+    A query whose isolated plan is not a pure join graph (here: ``order
+    by`` over a grouped aggregate) makes ``"auto"`` fall back to the
+    stacked interpreter.  That decision is recorded on the cached
+    :class:`CompilationResult` (``auto_engine``/``join_graph_error``), so
+    re-executing the same query must hit the cache and never re-run
+    isolation — the historical failure mode was paying the full rewrite
+    search on every refused call.
+    """
+    refused = (
+        'for $a in doc("t.xml")/descendant::a '
+        "order by $a/child::b/text() return fn:count($a/child::b)"
+    )
+    isolate_calls = []
+    original = JoinGraphIsolation.isolate
+
+    def counting_isolate(self, plan):
+        isolate_calls.append(plan)
+        return original(self, plan)
+
+    monkeypatch.setattr(JoinGraphIsolation, "isolate", counting_isolate)
+    first = processor.execute(refused, configuration="auto")
+    compilation = processor.compile(refused)
+    assert compilation.join_graph is None
+    assert compilation.join_graph_error is not None
+    assert compilation.auto_engine == "stacked"
+    assert len(isolate_calls) == 1
+    stats_before = processor.plan_cache.stats()
+    for _ in range(3):
+        repeat = processor.execute(refused, configuration="auto")
+        assert repeat.items == first.items
+        assert repeat.configuration == first.configuration
+    stats_after = processor.plan_cache.stats()
+    assert len(isolate_calls) == 1  # isolation ran once, ever
+    assert stats_after["misses"] == stats_before["misses"]
+    assert stats_after["hits"] == stats_before["hits"] + 3
+
+
+def test_auto_dispatches_to_the_join_graph_when_isolated(processor):
+    """The cached decision's other arm: an isolable query keeps running on
+    the join-graph engine under ``"auto"``."""
+    compilation = processor.compile(QUERY)
+    assert compilation.auto_engine == "join-graph"
+    outcome = processor.execute(QUERY, configuration="auto")
+    assert outcome.configuration == "join-graph"
+
+
 def test_isolation_override_is_cached_under_its_own_key(processor):
     """Regression: overrides used to disable caching instead of keying it."""
     ablated = JoinGraphIsolation(enable_join_goal=False, enable_distinct_goal=False)

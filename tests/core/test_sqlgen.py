@@ -121,3 +121,64 @@ def test_join_order_variants_agree_on_sqlite(small_auction_encoding):
     ).rows
     assert default == hinted
     assert default  # the small document has qualifying auctions
+
+
+# -- windowed-rank determinism ------------------------------------------------------
+
+
+def test_windowed_rank_is_join_order_invariant(small_auction_encoding):
+    """DENSE_RANK ranks must not depend on the FROM clause's join order.
+
+    The positional window is computed in its own derived table over the
+    rank's pinned alias/condition prefix — never over the full SFW block —
+    so pinning the CROSS JOIN order (any permutation) may change the access
+    path but must return bit-for-bit identical rows.  This is the
+    regression gate for the windowed-rank isolation of the coverage-matrix
+    close: a rank accidentally computed over the joined result would shift
+    with row arrival order and break exactly this test.
+    """
+    backend = SQLiteBackend.from_encoding(small_auction_encoding)
+    graph = _graph(
+        "for $a in doc(\"auction.xml\")/descendant::open_auction "
+        "return $a/child::bidder[2]"
+    )
+    assert graph.windows, "the positional predicate must compile to a window"
+    default_sql = render_join_graph(graph)
+    assert "DENSE_RANK() OVER" in default_sql
+    default = backend.execute(default_sql).rows
+    assert default  # the small document has auctions with a second bidder
+    permutations = [
+        list(reversed(graph.aliases)),
+        graph.aliases[1:] + graph.aliases[:1],  # rotation
+        graph.aliases[-1:] + graph.aliases[:-1],
+    ]
+    for order in permutations:
+        pinned_sql = render_join_graph(graph, join_order=order)
+        assert "CROSS JOIN" in pinned_sql
+        assert backend.execute(pinned_sql).rows == default, order
+
+
+def test_windowed_rank_scope_excludes_downstream_joins(small_auction_encoding):
+    """The window ranks over its own condition prefix, not the full block.
+
+    A downstream join partner (here the ``increase`` child the result
+    projects) must not constrain the window subquery: joining bidders to
+    their ``increase`` children *before* ranking would eliminate
+    increase-less bidders and renumber everyone after the gap.  The
+    bidder-to-increase ancestor join therefore appears only in the outer
+    block, never inside the derived window table.
+    """
+    graph = _graph(
+        "for $a in doc(\"auction.xml\")/descendant::open_auction "
+        "return $a/child::bidder[1]/child::increase"
+    )
+    assert graph.windows
+    sql = render_join_graph(graph)
+    subquery = sql[sql.index("(SELECT") : sql.index(") AS w1")]
+    outer = sql[sql.index(") AS w1") :]
+    # d2=bidder, d1=increase: the step join is outer-only.
+    assert "d2.pre < d1.pre" not in subquery
+    assert "d2.pre < d1.pre" in outer
+    # ...and the ranking itself partitions/orders only on auction/bidder.
+    over = subquery[subquery.index("DENSE_RANK") : subquery.index(" AS rnk")]
+    assert "d1" not in over

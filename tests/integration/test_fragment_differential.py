@@ -12,7 +12,6 @@ aggregates over empty groups.
 import pytest
 
 from repro.core.session import Session
-from repro.errors import JoinGraphError
 from repro.purexml.engine import PureXMLEngine
 from repro.purexml.storage import XMLColumnStore
 from repro.xmldb.parser import parse_xml
@@ -94,6 +93,71 @@ POSITIONAL_QUERIES = [
     'doc("site.xml")/descendant::person[1]/child::watch',
 ]
 
+ORDER_BY_QUERIES = [
+    # order by a child value; Alice/Bob/Cleo are already sorted, so use the
+    # watch values which are not in document order
+    (
+        'for $p in doc("site.xml")/descendant::person '
+        "order by $p/child::name/text() return $p/child::name"
+    ),
+    (
+        'for $w in doc("site.xml")/descendant::watch '
+        "order by $w/text() return $w"
+    ),
+    # a binding with no key (i4 has no quantity) drops out of the result
+    (
+        'for $i in doc("site.xml")/descendant::item '
+        "order by $i/child::quantity/text() return $i/attribute::id"
+    ),
+    # explicit ascending keyword
+    (
+        'for $i in doc("site.xml")/descendant::item '
+        "order by $i/child::name/text() ascending return $i/child::name"
+    ),
+    # order by under a where clause
+    (
+        'for $p in doc("site.xml")/descendant::person '
+        "where fn:count($p/child::watch) > 0 "
+        "order by $p/child::name/text() return $p"
+    ),
+]
+
+QUANTIFIED_QUERIES = [
+    (
+        'for $p in doc("site.xml")/descendant::person '
+        'where some $w in $p/child::watch satisfies $w/text() = "i3" '
+        "return $p/child::name"
+    ),
+    (  # vacuously true for the watch-less person p2
+        'for $p in doc("site.xml")/descendant::person '
+        'where every $w in $p/child::watch satisfies $w/text() = "i3" '
+        "return $p/attribute::id"
+    ),
+    (  # quantifier inside a path predicate
+        'doc("site.xml")/descendant::person'
+        '[some $w in child::watch satisfies $w/text() = "i2"]/child::name'
+    ),
+]
+
+EXISTS_EMPTY_QUERIES = [
+    (
+        'for $p in doc("site.xml")/descendant::person '
+        "where fn:exists($p/child::watch) return $p/child::name"
+    ),
+    (
+        'for $p in doc("site.xml")/descendant::person '
+        "where fn:empty($p/child::watch) return $p/child::name"
+    ),
+    # unprefixed built-in names inside path predicates
+    'doc("site.xml")/descendant::item[exists(child::quantity)]/attribute::id',
+    'doc("site.xml")/descendant::item[empty(child::quantity)]/attribute::id',
+    # exists over an empty-everywhere path: empty result
+    (
+        'for $p in doc("site.xml")/descendant::person '
+        "where fn:exists($p/child::nosuch) return $p"
+    ),
+]
+
 WHERE_AGGREGATE_QUERIES = [
     (
         'for $p in doc("site.xml")/descendant::person '
@@ -143,23 +207,137 @@ def test_aggregates_agree_on_all_engines(session, query):
 
 
 @pytest.mark.parametrize("query", POSITIONAL_QUERIES)
-def test_positional_predicates_agree_on_interpreted_engines(session, query):
-    """Positional predicates select on a rank — outside the join-graph
-    fragment (documented in the README coverage matrix); the remaining
-    configurations must still agree bit-for-bit."""
-    _assert_engines_agree(session, query, NO_JOIN_GRAPH_CONFIGS)
-    assert session.processor.compile(query).join_graph is None
-    with pytest.raises(JoinGraphError):
-        session.execute(query, configuration="sql")
+def test_positional_predicates_agree_on_all_engines(session, query):
+    """Positional predicates select on a rank; the windowed-rank extraction
+    carries them into the join graph as DENSE_RANK conditions, so every
+    configuration — including join-graph and sql — agrees bit-for-bit."""
+    _assert_engines_agree(session, query, ALL_CONFIGS)
+    compilation = session.processor.compile(query)
+    assert compilation.join_graph is not None
+    assert compilation.join_graph.windows
 
 
 @pytest.mark.parametrize("query", WHERE_AGGREGATE_QUERIES)
-def test_aggregates_in_conditions_agree_on_interpreted_engines(session, query):
-    """An aggregate compared inside a where clause is outside the join-graph
-    fragment (it would need HAVING semantics); interpreted engines and the
-    stacked SQL chain agree."""
+def test_aggregates_in_conditions_agree_on_all_engines(session, query):
+    """An aggregate compared inside a where clause renders as a correlated
+    HAVING-style subquery on the grouped encoding; every configuration
+    agrees bit-for-bit, including aggregates over empty groups."""
+    _assert_engines_agree(session, query, ALL_CONFIGS)
+    compilation = session.processor.compile(query)
+    assert compilation.join_graph is not None
+    assert compilation.join_graph.having
+
+
+@pytest.mark.parametrize("query", ORDER_BY_QUERIES)
+def test_order_by_agrees_on_all_engines(session, query):
+    """``order by`` re-ranks each FLWOR iteration by its (single, ascending,
+    string-valued) key before the positional rank is taken; all five
+    relational configurations agree bit-for-bit."""
+    _assert_engines_agree(session, query, ALL_CONFIGS)
+
+
+@pytest.mark.parametrize("query", QUANTIFIED_QUERIES)
+def test_quantified_expressions_agree_on_all_engines(session, query):
+    """``some`` desugars to an existence test over a witness loop and
+    ``every`` to a zero-violations aggregate comparison; both run on every
+    configuration."""
+    _assert_engines_agree(session, query, ALL_CONFIGS)
+
+
+@pytest.mark.parametrize("query", EXISTS_EMPTY_QUERIES)
+def test_exists_empty_agree_on_all_engines(session, query):
+    """``fn:exists`` is the plain existence test; ``fn:empty`` routes through
+    the count-comparison (HAVING) machinery so empty groups stay visible."""
+    _assert_engines_agree(session, query, ALL_CONFIGS)
+
+
+def test_every_with_existence_predicate_refuses_on_join_graph(session):
+    """``every … satisfies <path>`` negates to fn:empty, which nests a count
+    aggregate inside the violation count — outside the single-join-graph
+    fragment.  Interpreted configurations still agree; join-graph and sql
+    refuse with the documented error class."""
+    from repro.errors import JoinGraphError
+
+    query = (
+        'for $i in doc("site.xml")/descendant::item '
+        "where every $q in $i/child::quantity satisfies $q/text() "
+        "return $i/attribute::id"
+    )
     _assert_engines_agree(session, query, NO_JOIN_GRAPH_CONFIGS)
-    assert session.processor.compile(query).join_graph is None
+    for configuration in ("join-graph", "sql"):
+        with pytest.raises(JoinGraphError):
+            session.execute(query, configuration=configuration)
+
+
+def test_order_by_result_is_key_ordered(session):
+    """Acceptance: watches sorted by their text value, not document order."""
+    query = (
+        'for $w in doc("site.xml")/descendant::watch '
+        "order by $w/text() return $w"
+    )
+    items = session.execute(query, configuration="sql").items
+    encoding = session.processor.encoding
+    assert [encoding.record(item).value for item in items] == [
+        "i1",
+        "i2",
+        "i3",
+        "i3",
+    ]
+
+
+def test_purexml_agrees_on_phase_c_constructs():
+    """The navigational engine implements order by / quantifiers / exists /
+    empty natively (no normalization) yet selects the same nodes in the same
+    order as the relational stack."""
+    document = parse_xml(XML, uri="site.xml")
+    engine = PureXMLEngine(XMLColumnStore.whole(document))
+    session = Session()
+    session.register("site.xml", XML)
+    encoding = session.processor.encoding
+    for query in (
+        ORDER_BY_QUERIES[:2]
+        + QUANTIFIED_QUERIES[:2]
+        + EXISTS_EMPTY_QUERIES[:2]
+    ):
+        relational = session.execute(query, configuration="sql")
+        pure = engine.execute(query)
+        assert [node.string_value() for node in pure.nodes] == [
+            _string_value(encoding, item) for item in relational.items
+        ], query
+
+
+def _string_value(encoding, pre):
+    """String value of an encoded node: concatenated text of its subtree."""
+    record = encoding.record(pre)
+    if record.kind in ("TEXT", "ATTR"):
+        return record.value
+    return "".join(
+        encoding.record(inner).value
+        for inner in encoding.subtree(pre, include_self=False)
+        if encoding.record(inner).kind == "TEXT"
+    )
+
+
+def test_aggregate_value_duplicates_survive_decode(session):
+    """Regression: per-iteration aggregate *values* may repeat across
+    iterations (two persons each watching two items), and the decode step
+    must not apply the node-sequence dedup to them.  Every configuration
+    returns one count per person, duplicates included."""
+    query = (
+        'for $p in doc("site.xml")/descendant::person '
+        "return fn:count($p/child::watch)"
+    )
+    for configuration in ALL_CONFIGS:
+        items = session.execute(query, configuration=configuration).items
+        assert items == [2, 2, 0], configuration
+    correlated = (
+        'for $p in doc("site.xml")/descendant::person '
+        'return fn:count(doc("site.xml")/descendant::item'
+        "[attribute::id = $p/child::watch])"
+    )
+    for configuration in ALL_CONFIGS:
+        items = session.execute(correlated, configuration=configuration).items
+        assert items == [2, 2, 0], configuration
 
 
 def test_aggregates_rendered_as_native_sql():

@@ -75,10 +75,27 @@ def test_q2_value_join_isolates_and_runs_on_sql(xmark_processor):
     assert via_sql.items == stacked.items
 
 
-def test_sql_requires_a_join_graph(xmark_processor):
-    # A positional predicate filters on a rank column, which no pure join
-    # graph can express — the sql configuration must refuse, not guess.
+def test_positional_predicate_isolates_and_runs_on_sql(xmark_processor):
+    # A positional predicate filters on a rank column; the windowed-rank
+    # extraction renders it as a DENSE_RANK derived table inside the single
+    # SFW block, bit-for-bit with the interpreted configurations.
     query = 'doc("auction.xml")/descendant::open_auction[2]/child::bidder'
+    compilation = xmark_processor.compile(query)
+    assert compilation.join_graph is not None
+    assert len(compilation.join_graph.windows) == 1
+    via_sql = xmark_processor.execute_sql(query)
+    stacked = xmark_processor.execute_stacked(query)
+    assert via_sql.items == stacked.items
+
+
+def test_sql_requires_a_join_graph(xmark_processor):
+    # A windowed rank condition combined with an aggregate-valued result
+    # still exceeds the single-SFW fragment — the sql configuration must
+    # refuse, not guess.
+    query = (
+        'for $a in doc("auction.xml")/descendant::open_auction[2] '
+        "return fn:count($a/child::bidder)"
+    )
     compilation = xmark_processor.compile(query)
     assert compilation.join_graph is None
     with pytest.raises(JoinGraphError):

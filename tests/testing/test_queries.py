@@ -1,0 +1,78 @@
+"""Tier-1 slice of the property-based differential sweep.
+
+The deep sweep runs nightly in CI (``python -m repro.testing.queries``);
+this file pins a fixed seeded corpus of ~200 generated queries into the
+regular test run so the generator, the differential contract and the five
+engines are exercised on every push.
+"""
+
+import pytest
+
+from repro.core.session import Session
+from repro.testing.queries import (
+    DIFFERENTIAL_XML,
+    QueryGenerator,
+    check_differential,
+    run_sweep,
+)
+
+TIER1_SEED = 0
+TIER1_CASES = 200
+
+#: Chunked parametrization: one test per block of 25 keeps pytest output
+#: readable while a failure still reports the exact reproducing
+#: ``(seed, index, source)`` triple through check_differential's message.
+BLOCK = 25
+
+
+@pytest.fixture(scope="module")
+def session():
+    session = Session()
+    session.register("site.xml", DIFFERENTIAL_XML)
+    return session
+
+
+@pytest.mark.parametrize("start", range(0, TIER1_CASES, BLOCK))
+def test_generated_queries_agree_across_engines(session, start):
+    generator = QueryGenerator(TIER1_SEED)
+    for index in range(start, start + BLOCK):
+        check_differential(session, generator.case(index))
+
+
+def test_generation_is_deterministic():
+    """Case ``i`` of seed ``s`` is stable — independent of corpus size."""
+    a = QueryGenerator(7).corpus(40)
+    b = [QueryGenerator(7).case(index) for index in range(40)]
+    assert a == b
+    assert QueryGenerator(7).case(3) != QueryGenerator(8).case(3)
+
+
+def test_corpus_covers_every_feature_class():
+    """The tier-1 corpus exercises each fragment construct the ISSUE names:
+    paths, predicates, value joins, aggregates, positionals, quantifiers,
+    order by."""
+    features: set = set()
+    for query in QueryGenerator(TIER1_SEED).corpus(TIER1_CASES):
+        features.update(query.features)
+    assert {
+        "path",
+        "positional",
+        "comparison",
+        "value-join",
+        "aggregate",
+        "where-aggregate",
+        "return-aggregate",
+        "exists-empty",
+        "quantifier",
+        "order-by",
+    } <= features, sorted(features)
+
+
+def test_sweep_reports_census(session):
+    """run_sweep (the nightly entry point's core) returns outcomes plus a
+    feature census and flags legitimate refusals as such."""
+    outcomes, census = run_sweep(12, seed=3, session=session)
+    assert len(outcomes) == 12
+    assert sum(census["features"].values()) >= 12
+    for outcome in outcomes:
+        assert set(outcome.refused) <= {"join-graph", "sql"}

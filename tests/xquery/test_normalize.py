@@ -78,3 +78,81 @@ def test_literals_preserved():
     core = normalize(parse_xquery("doc('a.xml')//x[price > 500]"))
     comparison = core.body.condition.argument
     assert isinstance(comparison.right, ast.NumberLiteral)
+
+def test_exists_in_condition_is_plain_existence_test():
+    core = normalize(
+        parse_xquery("for $p in doc('s.xml')//p where fn:exists($p/w) return $p")
+    )
+    body = core.body
+    assert isinstance(body, ast.IfExpr)
+    assert isinstance(body.condition, ast.FnBoolean)
+    # No Exists node survives normalization.
+    assert "exists" not in render(core)
+
+
+def test_empty_desugars_to_count_comparison():
+    core = normalize(
+        parse_xquery("for $p in doc('s.xml')//p where fn:empty($p/w) return $p")
+    )
+    comparison = core.body.condition.argument
+    assert isinstance(comparison, ast.Comparison) and comparison.op == "="
+    assert isinstance(comparison.left, ast.Aggregate)
+    assert comparison.left.function == "count"
+    assert isinstance(comparison.right, ast.NumberLiteral) and comparison.right.value == 0
+
+
+def test_some_desugars_to_witness_loop():
+    core = normalize(
+        parse_xquery(
+            "for $p in doc('s.xml')//p "
+            "where some $w in $p/w satisfies $w/text() = 'k' return $p"
+        )
+    )
+    condition = core.body.condition
+    assert isinstance(condition, ast.FnBoolean)
+    witness = condition.argument
+    assert isinstance(witness, ast.ForExpr) and witness.var == "w"
+    assert isinstance(witness.body, ast.IfExpr)
+
+
+def test_every_desugars_to_zero_violation_count():
+    core = normalize(
+        parse_xquery(
+            "for $p in doc('s.xml')//p "
+            "where every $w in $p/w satisfies $w/text() = 'k' return $p"
+        )
+    )
+    comparison = core.body.condition.argument
+    assert isinstance(comparison.left, ast.Aggregate)
+    violations = comparison.left.argument
+    assert isinstance(violations, ast.ForExpr)
+    # The violation loop tests the *negated* comparison.
+    negated = violations.body.condition.argument
+    assert isinstance(negated, ast.Comparison) and negated.op == "!="
+
+
+def test_every_over_conjunction_rejected():
+    with pytest.raises(XQueryCompilationError):
+        normalize(
+            parse_xquery(
+                "for $p in doc('s.xml')//p "
+                "where every $w in $p/w satisfies $w/a = 1 and $w/b = 2 return $p"
+            )
+        )
+
+
+def test_exists_outside_condition_position_rejected():
+    with pytest.raises(XQueryCompilationError):
+        normalize(parse_xquery("for $p in doc('s.xml')//p return fn:exists($p/w)"))
+
+
+def test_order_key_survives_normalization():
+    core = normalize(
+        parse_xquery(
+            "for $p in doc('s.xml')//p order by $p/name/text() return $p"
+        )
+    )
+    assert isinstance(core, ast.ForExpr)
+    assert core.order_key is not None
+    # The key path is normalized like any sequence expression (ddo-wrapped).
+    assert isinstance(core.order_key, ast.FsDdo)

@@ -91,3 +91,87 @@ def test_trailing_garbage_rejected():
 def test_wildcard_and_attribute_wildcard():
     expr = parse_xquery("/dblp/*")
     assert expr.node_test == "*" and expr.axis == "child"
+
+def test_order_by_parses_onto_for():
+    expr = parse_xquery(
+        'for $p in doc("s.xml")//person order by $p/name/text() return $p'
+    )
+    assert isinstance(expr, ast.ForExpr)
+    assert expr.order_key is not None
+    assert isinstance(expr.order_key, ast.Step)
+
+
+def test_order_by_accepts_explicit_ascending():
+    expr = parse_xquery(
+        'for $p in doc("s.xml")//person order by $p/name ascending return $p'
+    )
+    assert expr.order_key is not None
+
+
+def test_order_by_rejects_descending_and_multiple_keys():
+    with pytest.raises(XQuerySyntaxError):
+        parse_xquery('for $p in doc("s.xml")//a order by $p/b descending return $p')
+    with pytest.raises(XQuerySyntaxError):
+        parse_xquery('for $p in doc("s.xml")//a order by $p/b, $p/c return $p')
+
+
+def test_order_by_requires_single_for_binding():
+    with pytest.raises(XQuerySyntaxError):
+        parse_xquery(
+            'for $a in doc("s.xml")//a, $b in doc("s.xml")//b '
+            "order by $a/k return $a"
+        )
+
+
+def test_order_and_by_stay_legal_element_names():
+    expr = parse_xquery('doc("s.xml")/child::order/child::by')
+    assert expr.node_test == "by"
+    assert expr.input.node_test == "order"
+
+
+def test_quantified_expressions_parse():
+    expr = parse_xquery(
+        'for $p in doc("s.xml")//person '
+        'where some $w in $p/watch satisfies $w/text() = "i1" return $p'
+    )
+    # The where clause keeps the surface Quantified node until normalization.
+    quantified = expr.body
+    while not isinstance(quantified, ast.Quantified):
+        quantified = (
+            quantified.condition
+            if isinstance(quantified, ast.IfExpr)
+            else quantified.body
+        )
+    assert quantified.quantifier == "some" and quantified.var == "w"
+    assert isinstance(quantified.predicate, ast.Comparison)
+
+
+def test_every_and_satisfies_keywords():
+    expr = parse_xquery(
+        'for $p in doc("s.xml")//person '
+        "where every $w in $p/watch satisfies $w/text() return $p"
+    )
+    assert isinstance(expr, ast.ForExpr)
+
+
+def test_quantifier_rejects_multiple_bindings():
+    with pytest.raises(XQuerySyntaxError):
+        parse_xquery(
+            'for $p in doc("s.xml")//p '
+            "where some $a in $p/x, $b in $p/y satisfies $a = $b return $p"
+        )
+
+
+def test_exists_and_empty_parse_with_and_without_prefix():
+    for name in ("exists", "fn:exists"):
+        expr = parse_xquery(f'doc("s.xml")//person[{name}(watch)]')
+        assert isinstance(expr.predicate, ast.Exists)
+    for name in ("empty", "fn:empty"):
+        expr = parse_xquery(f'doc("s.xml")//person[{name}(watch)]')
+        assert isinstance(expr.predicate, ast.Empty)
+
+
+def test_some_and_every_stay_legal_element_names():
+    expr = parse_xquery('doc("s.xml")/child::some/child::every')
+    assert expr.node_test == "every"
+    assert expr.input.node_test == "some"
