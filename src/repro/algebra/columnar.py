@@ -1,0 +1,826 @@
+"""Columnar storage and vectorized kernels for the execution core.
+
+The paper's argument is that set-oriented relational evaluation beats
+node-at-a-time navigation — yet a row-tuple interpreter still pays Python
+dispatch per row.  This module supplies the columnar counterpart of
+:class:`repro.algebra.table.Table`: one array per column, boolean masks for
+selections, and batch kernels (comparison masks, rank/dense-rank, staircase
+bisection helpers) that the interpreted engines call instead of per-row
+closures.
+
+Storage is a NumPy object ``ndarray`` per column when NumPy is importable,
+and a plain Python list otherwise (the *typed-list fallback*).  Every kernel
+has a pure-Python branch with semantics identical to the row path, so the
+engines produce bit-for-bit identical tables in either mode.  Setting the
+environment variable ``REPRO_NO_NUMPY`` (to any non-empty value) forces the
+fallback even when NumPy is installed — CI uses this to keep the pure-Python
+path green.
+
+Comparison mask semantics replicate :func:`repro.algebra.predicates._compare`
+exactly:
+
+* any ``None`` operand fails the comparison (``None = None`` is *false*),
+* mixed numeric/string *range* comparisons fail instead of raising,
+* ``=`` / ``!=`` use Python equality over the original objects.
+
+The vectorized branch runs comparisons over a float64 *numeric shadow* of
+each column (``None`` and strings map to NaN).  NaN propagation makes the
+``None``-fails rule free for ``=``/``<``/``<=``/``>``/``>=``; ``!=`` masks
+NaN explicitly.  The shadow branch is only taken when it provably matches
+the reference semantics: both sides must be free of floats that cannot be
+represented exactly (huge ints) and at most one side may contain strings
+(a string shadows to NaN and can never equal or order against a number,
+which is exactly the reference behaviour — but string-vs-string comparisons
+must fall back to the Python branch).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+try:  # pragma: no cover - exercised by the no-NumPy CI job
+    if os.environ.get("REPRO_NO_NUMPY"):
+        raise ImportError("NumPy disabled via REPRO_NO_NUMPY")
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
+
+#: True when NumPy was importable at module load (and not disabled via env).
+HAVE_NUMPY = _np is not None
+
+_numpy_enabled = HAVE_NUMPY
+
+#: Largest magnitude for which every int is exactly representable in float64.
+_EXACT_INT = 2 ** 53
+
+_NAN = float("nan")
+
+
+def numpy_active() -> bool:
+    """True when the vectorized (NumPy) branch is in use for new columns."""
+    return _numpy_enabled and _np is not None
+
+
+def active_numpy():
+    """The NumPy module when the vectorized branch is active, else ``None``."""
+    return _np if numpy_active() else None
+
+
+def set_numpy_enabled(enabled: bool) -> bool:
+    """Toggle the vectorized branch at runtime (tests only); returns the old value.
+
+    Disabling makes *newly built* columns use list storage; columns already
+    built keep their storage, and mixed-storage operations take the Python
+    branch, so flipping mid-run is safe (if slow).
+    """
+    global _numpy_enabled
+    previous = _numpy_enabled
+    _numpy_enabled = bool(enabled) and _np is not None
+    return previous
+
+
+def sort_key(values: tuple) -> tuple:
+    """Total order over heterogeneous values (None < numbers < strings).
+
+    Canonical definition shared by the row path (``Table.sort_by`` /
+    ``Table.attach_rank``) and the columnar rank kernels.
+    """
+    key = []
+    for value in values:
+        if value is None:
+            key.append((0, 0))
+        elif isinstance(value, bool):
+            key.append((1, int(value)))
+        elif isinstance(value, (int, float)):
+            key.append((1, value))
+        else:
+            key.append((2, str(value)))
+    return tuple(key)
+
+
+# ---------------------------------------------------------------------------
+# Columns
+# ---------------------------------------------------------------------------
+
+
+class Column:
+    """One table column: an object ndarray (vectorized) or a plain list.
+
+    Lazily caches per-column statistics used to pick kernel branches:
+
+    ``notnull``
+        boolean mask, True where the value is not ``None``;
+    ``shadow``
+        float64 array with the numeric value per row and NaN for ``None``
+        or non-numeric values (vectorized storage only);
+    ``has_strings``
+        True when any value is neither ``None`` nor numeric;
+    ``shadow_exact``
+        True when every numeric value is exactly representable in float64
+        (ints beyond ±2**53 poison the shadow and force the Python branch);
+    ``ints_only``
+        True when every non-``None`` value is a Python int (bools included)
+        — lets arithmetic kernels rebuild exact int results from a float64
+        shadow.
+    """
+
+    __slots__ = (
+        "values",
+        "length",
+        "_notnull",
+        "_shadow",
+        "_has_strings",
+        "_shadow_exact",
+        "_ints_only",
+    )
+
+    def __init__(self, values, length: Optional[int] = None):
+        self.values = values
+        self.length = len(values) if length is None else length
+        self._notnull = None
+        self._shadow = None
+        self._has_strings = None
+        self._shadow_exact = None
+        self._ints_only = None
+
+    def __len__(self) -> int:
+        return self.length
+
+    @property
+    def vectorized(self) -> bool:
+        return _np is not None and isinstance(self.values, _np.ndarray)
+
+    @classmethod
+    def from_values(cls, values: Sequence[object]) -> "Column":
+        """Build a column with the storage chosen by :func:`numpy_active`."""
+        if numpy_active():
+            array = _np.empty(len(values), dtype=object)
+            array[:] = values
+            return cls(array)
+        return cls(list(values))
+
+    @classmethod
+    def numeric(cls, shadow, ints_only: bool = False) -> "Column":
+        """A purely numeric column from its float64 shadow (NaN = ``None``).
+
+        Materialises *exact* Python objects: NaN rows become ``None`` (never
+        a float ``nan`` object), and with ``ints_only`` the values are
+        rebuilt as Python ints — so a vectorized sum of int columns is
+        bit-for-bit the int the row path would have produced.
+        """
+        notnull = ~_np.isnan(shadow)
+        all_notnull = bool(notnull.all())
+        if ints_only:
+            filled = shadow if all_notnull else _np.where(notnull, shadow, 0.0)
+            values = filled.astype(_np.int64).astype(object)
+        else:
+            values = shadow.astype(object)
+        if not all_notnull:
+            values[~notnull] = None
+        column = cls(values, len(shadow))
+        column._shadow = shadow
+        column._notnull = notnull
+        column._has_strings = False
+        column._shadow_exact = True
+        column._ints_only = ints_only
+        return column
+
+    @classmethod
+    def constant(cls, value: object, n: int) -> "Column":
+        """A column holding ``value`` in every row (the Attach operator)."""
+        if numpy_active():
+            array = _np.empty(n, dtype=object)
+            array[:] = value
+            column = cls(array)
+        else:
+            column = cls([value] * n)
+        column._has_strings = value is not None and not isinstance(value, (int, float))
+        column._shadow_exact = not isinstance(value, int) or _scalar_exact(value)
+        column._ints_only = value is None or isinstance(value, int)
+        return column
+
+    @classmethod
+    def int_sequence(cls, start: int, n: int) -> "Column":
+        """Consecutive Python ints ``start .. start+n-1`` (the RowId operator)."""
+        if numpy_active():
+            column = cls(_np.arange(start, start + n).astype(object), n)
+            column._shadow = _np.arange(start, start + n, dtype=_np.float64)
+            column._notnull = _np.ones(n, dtype=bool)
+        else:
+            column = cls(list(range(start, start + n)))
+        column._has_strings = False
+        column._shadow_exact = True
+        column._ints_only = True
+        return column
+
+    def _build_stats(self) -> None:
+        values = self.values
+        n = self.length
+        has_strings = False
+        exact = True
+        ints_only = True
+        if self.vectorized:
+            shadow = _np.empty(n, dtype=_np.float64)
+            notnull = _np.ones(n, dtype=bool)
+            for i in range(n):
+                v = values[i]
+                if type(v) is int:
+                    shadow[i] = v
+                    if not -_EXACT_INT <= v <= _EXACT_INT:
+                        exact = False
+                elif type(v) is float:
+                    shadow[i] = v
+                    ints_only = False
+                elif v is None:
+                    shadow[i] = _NAN
+                    notnull[i] = False
+                elif isinstance(v, bool):
+                    shadow[i] = float(v)
+                elif isinstance(v, int):
+                    shadow[i] = v
+                    if not -_EXACT_INT <= v <= _EXACT_INT:
+                        exact = False
+                elif isinstance(v, float):
+                    shadow[i] = v
+                    ints_only = False
+                else:
+                    shadow[i] = _NAN
+                    has_strings = True
+                    ints_only = False
+            self._shadow = shadow
+            self._notnull = notnull
+        else:
+            self._notnull = [v is not None for v in values]
+            ints_only = False  # the fallback kernels never consult it
+            for v in values:
+                if v is not None and not isinstance(v, (int, float)):
+                    has_strings = True
+                    break
+        self._has_strings = has_strings
+        self._shadow_exact = exact
+        self._ints_only = ints_only
+
+    @property
+    def notnull(self):
+        if self._notnull is None:
+            self._build_stats()
+        return self._notnull
+
+    @property
+    def shadow(self):
+        """float64 shadow (vectorized storage only; NaN = None / non-numeric)."""
+        if self._shadow is None:
+            self._build_stats()
+        return self._shadow
+
+    @property
+    def has_strings(self) -> bool:
+        if self._has_strings is None:
+            self._build_stats()
+        return self._has_strings
+
+    @property
+    def shadow_exact(self) -> bool:
+        if self._shadow_exact is None:
+            self._build_stats()
+        return self._shadow_exact
+
+    @property
+    def ints_only(self) -> bool:
+        if self._ints_only is None:
+            self._build_stats()
+        return self._ints_only
+
+    def shadow_usable(self) -> bool:
+        """True when this column's shadow can stand in for its values."""
+        return self.vectorized and self.shadow_exact
+
+    def tolist(self) -> list:
+        if self.vectorized:
+            return self.values.tolist()
+        return self.values if isinstance(self.values, list) else list(self.values)
+
+    def take(self, indices) -> "Column":
+        """Gather by integer indices, propagating cached statistics."""
+        if self.vectorized:
+            result = Column(self.values[indices])
+            if self._shadow is not None:
+                result._shadow = self._shadow[indices]
+            if self._notnull is not None:
+                result._notnull = self._notnull[indices]
+        else:
+            values = self.values
+            result = Column([values[i] for i in indices])
+            if self._notnull is not None:
+                notnull = self._notnull
+                result._notnull = [notnull[i] for i in indices]
+        # Flags are conservative over subsets (a subset may lose its last
+        # string, never gain one), so they remain valid.
+        result._has_strings = self._has_strings
+        result._shadow_exact = self._shadow_exact
+        result._ints_only = self._ints_only
+        return result
+
+    def filter(self, mask) -> "Column":
+        """Keep rows where ``mask`` is True, propagating cached statistics."""
+        if self.vectorized and _np is not None and isinstance(mask, _np.ndarray):
+            result = Column(self.values[mask])
+            if self._shadow is not None:
+                result._shadow = self._shadow[mask]
+            if self._notnull is not None:
+                result._notnull = self._notnull[mask]
+        else:
+            values = self.values
+            result = Column([v for v, keep in zip(values, mask) if keep])
+            result._notnull = None
+        result._has_strings = self._has_strings
+        result._shadow_exact = self._shadow_exact
+        result._ints_only = self._ints_only
+        return result
+
+    def repeat(self, count: int) -> "Column":
+        """Each value repeated ``count`` times in place (cross-product left side)."""
+        if self.vectorized:
+            result = Column(_np.repeat(self.values, count))
+            if self._shadow is not None:
+                result._shadow = _np.repeat(self._shadow, count)
+        else:
+            result = Column([v for v in self.values for _ in range(count)])
+        result._has_strings = self._has_strings
+        result._shadow_exact = self._shadow_exact
+        result._ints_only = self._ints_only
+        return result
+
+    def tile(self, count: int) -> "Column":
+        """The whole column repeated ``count`` times (cross-product right side)."""
+        if self.vectorized:
+            result = Column(_np.tile(self.values, count))
+            if self._shadow is not None:
+                result._shadow = _np.tile(self._shadow, count)
+        else:
+            result = Column(list(self.values) * count)
+        result._has_strings = self._has_strings
+        result._shadow_exact = self._shadow_exact
+        result._ints_only = self._ints_only
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Boolean masks (ndarray of bool, or list of bool in the fallback)
+# ---------------------------------------------------------------------------
+
+
+def full_mask(n: int, value: bool, vectorized: bool):
+    if vectorized and _np is not None:
+        return _np.full(n, value, dtype=bool)
+    return [value] * n
+
+
+def mask_and(left, right):
+    if _np is not None and isinstance(left, _np.ndarray) and isinstance(right, _np.ndarray):
+        return left & right
+    return [a and b for a, b in zip(left, right)]
+
+
+def mask_any(mask) -> bool:
+    if _np is not None and isinstance(mask, _np.ndarray):
+        return bool(mask.any())
+    return any(mask)
+
+
+def mask_all(mask) -> bool:
+    if _np is not None and isinstance(mask, _np.ndarray):
+        return bool(mask.all())
+    return all(mask)
+
+
+def mask_count(mask) -> int:
+    if _np is not None and isinstance(mask, _np.ndarray):
+        return int(mask.sum())
+    return sum(1 for m in mask if m)
+
+
+def mask_indices(mask):
+    """Integer row indices where ``mask`` is True."""
+    if _np is not None and isinstance(mask, _np.ndarray):
+        return _np.flatnonzero(mask)
+    return [i for i, m in enumerate(mask) if m]
+
+
+# ---------------------------------------------------------------------------
+# Comparison kernels
+# ---------------------------------------------------------------------------
+
+_PYTHON_RANGE = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _compare_scalar(left: object, op: str, right: object) -> bool:
+    """Reference semantics of ``predicates._compare`` (kept in sync)."""
+    if left is None or right is None:
+        return False
+    if op == "=":
+        return bool(left == right)
+    if op == "!=":
+        return bool(left != right)
+    try:
+        return bool(_PYTHON_RANGE[op](left, right))
+    except TypeError:
+        return False
+
+
+def _scalar_numericish(value: object) -> bool:
+    return isinstance(value, (int, float))
+
+
+def _scalar_exact(value: object) -> bool:
+    if isinstance(value, int) and not isinstance(value, bool):
+        return -_EXACT_INT <= value <= _EXACT_INT
+    return True  # floats are exact by definition; strings shadow to NaN
+
+
+def compare_mask(left, op: str, right, n: int):
+    """Boolean mask for ``left op right`` over ``n`` rows.
+
+    ``left``/``right`` are :class:`Column` instances or Python scalars
+    (literals).  Semantics match :func:`repro.algebra.predicates._compare`
+    element-wise, bit for bit.
+    """
+    left_column = isinstance(left, Column)
+    right_column = isinstance(right, Column)
+    if not left_column and not right_column:
+        return full_mask(n, _compare_scalar(left, op, right), numpy_active())
+    # A None literal fails every row regardless of the operator.
+    if (not left_column and left is None) or (not right_column and right is None):
+        vectorized = (left if left_column else right).vectorized
+        return full_mask(n, False, vectorized)
+
+    vectorized = (left.vectorized if left_column else True) and (
+        right.vectorized if right_column else True
+    )
+    if vectorized:
+        left_exact = left.shadow_exact if left_column else _scalar_exact(left)
+        right_exact = right.shadow_exact if right_column else _scalar_exact(right)
+        left_strings = left.has_strings if left_column else not _scalar_numericish(left)
+        right_strings = right.has_strings if right_column else not _scalar_numericish(right)
+        if left_exact and right_exact and not (left_strings and right_strings):
+            return _shadow_mask(left, op, right, left_column, right_column)
+        if op in ("=", "!="):
+            return _object_equality_mask(left, op, right, left_column, right_column)
+    return _python_mask(left, op, right, left_column, right_column, n)
+
+
+def _scalar_shadow(value: object) -> float:
+    """The float64 shadow of a literal: numbers as floats, strings as NaN.
+
+    NaN is exactly right for a string literal against a numeric column —
+    it never equals or orders against anything, which is the reference
+    behaviour (``=`` false, ranges false, ``!=`` true for non-None rows).
+    """
+    if isinstance(value, (int, float)):
+        return float(value)
+    return _NAN
+
+
+def _shadow_mask(left, op, right, left_column, right_column):
+    """Vector comparison over float64 shadows (validity checked by caller)."""
+    a = left.shadow if left_column else _scalar_shadow(left)
+    b = right.shadow if right_column else _scalar_shadow(right)
+    if op == "=":
+        return a == b  # NaN (None / string shadow) never equals anything.
+    if op == "!=":
+        mask = a != b  # NaN != x is True, but None operands must fail ...
+        if left_column and not mask_all(left.notnull):
+            mask = mask & left.notnull  # ... so mask them out explicitly.
+        if right_column and not mask_all(right.notnull):
+            mask = mask & right.notnull
+        # A string operand shadows to NaN: "x != 5" is genuinely True, and
+        # notnull keeps it (strings are not None) — matching the reference.
+        return mask
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    raise ValueError(f"unknown comparison operator {op!r}")
+
+
+def _object_equality_mask(left, op, right, left_column, right_column):
+    """Element-wise ``=`` / ``!=`` over the original objects (vectorized)."""
+    a = left.values if left_column else left
+    b = right.values if right_column else right
+    if op == "=":
+        mask = a == b
+    else:
+        mask = a != b
+    if not isinstance(mask, _np.ndarray):  # scalar-vs-scalar broadcast edge
+        mask = _np.full(len(left) if left_column else len(right), bool(mask))
+    mask = mask.astype(bool, copy=False)
+    # None operands fail the comparison even though None == None in Python.
+    if left_column and not mask_all(left.notnull):
+        mask = mask & left.notnull
+    if right_column and not mask_all(right.notnull):
+        mask = mask & right.notnull
+    if not left_column and left is None or not right_column and right is None:
+        mask = _np.zeros(len(mask), dtype=bool)
+    return mask
+
+
+def _python_mask(left, op: str, right, left_column: bool, right_column: bool, n: int):
+    """Per-element fallback with exact ``_compare`` semantics."""
+    left_values = left.values if left_column else None
+    right_values = right.values if right_column else None
+    out = []
+    append = out.append
+    for i in range(n):
+        lv = left_values[i] if left_column else left
+        rv = right_values[i] if right_column else right
+        append(_compare_scalar(lv, op, rv))
+    if numpy_active() and (
+        (left_column and left.vectorized) or (right_column and right.vectorized)
+    ):
+        return _np.array(out, dtype=bool)
+    return out
+
+
+def sum_columns(parts: Sequence[object], n: int) -> Column:
+    """Columnar ``Sum`` term: element-wise sum of columns and scalars.
+
+    Matches ``predicates.Sum.evaluate``: any ``None`` operand makes the row
+    ``None``; non-numeric operands raise ``TypeError`` exactly like the row
+    path (the Python branch reproduces the raise; the vector branch is only
+    taken when no strings are present).
+    """
+    columns = [p for p in parts if isinstance(p, Column)]
+    if not columns:
+        total = 0
+        for part in parts:
+            if part is None:
+                return Column.from_values([None] * n)
+            total += part  # type: ignore[operator]
+        return Column.from_values([total] * n)
+    fast = all(c.vectorized and c.shadow_exact and not c.has_strings for c in columns)
+    if fast:
+        total = None
+        scalar_total = 0.0
+        scalar_none = False
+        ints_only = all(c.ints_only for c in columns)
+        for part in parts:
+            if isinstance(part, Column):
+                total = part.shadow if total is None else total + part.shadow
+            elif part is None:
+                scalar_none = True
+            else:
+                scalar_total += part
+                if not isinstance(part, int):
+                    ints_only = False
+        if scalar_none:
+            return Column.from_values([None] * n)
+        total = total + scalar_total if scalar_total else total.copy()
+        # Summed magnitudes must stay exactly representable, or the rebuilt
+        # ints would silently round — fall to the Python loop instead.
+        with _np.errstate(invalid="ignore"):
+            in_range = not _np.any(_np.abs(total) > _EXACT_INT)
+        if in_range:
+            return Column.numeric(total, ints_only=ints_only)
+    values = []
+    part_values = [p.values if isinstance(p, Column) else None for p in parts]
+    for i in range(n):
+        total = 0
+        for part, stored in zip(parts, part_values):
+            v = stored[i] if stored is not None else part
+            if v is None:
+                total = None
+                break
+            total += v  # type: ignore[operator]
+        values.append(total)
+    return Column.from_values(values)
+
+
+# ---------------------------------------------------------------------------
+# Rank kernels
+# ---------------------------------------------------------------------------
+
+
+def rank_values(order_columns: Sequence[Column], partition_columns: Sequence[Column], n: int):
+    """``RANK() OVER (PARTITION BY ... ORDER BY ...)`` as a list/array of ints.
+
+    Semantics match ``Table.attach_rank``: ranks restart at 1 per distinct
+    partition key; ties on the order key share the 1-based sorted position
+    within their partition.  Returns Python ints (as an object ndarray in the
+    vectorized branch) so downstream rows stay bit-for-bit identical.
+    """
+    involved = list(order_columns) + list(partition_columns)
+    fast = bool(involved) and all(
+        c.vectorized and c.shadow_exact and not c.has_strings and mask_all(c.notnull)
+        for c in involved
+    )
+    if fast and n:
+        # lexsort's last key is primary: partitions group first, then order keys.
+        keys = tuple(c.shadow for c in reversed(list(order_columns)))
+        keys += tuple(c.shadow for c in reversed(list(partition_columns)))
+        order = _np.lexsort(keys)
+
+        def _changes(columns: Sequence[Column]):
+            changed = _np.zeros(n, dtype=bool)
+            changed[0] = True
+            for column in columns:
+                sorted_shadow = column.shadow[order]
+                changed[1:] |= sorted_shadow[1:] != sorted_shadow[:-1]
+            return changed
+
+        part_change = _changes(partition_columns) if partition_columns else None
+        key_change = _changes(list(partition_columns) + list(order_columns))
+        positions = _np.arange(n)
+        if part_change is None:
+            part_start = _np.zeros(n, dtype=_np.int64)
+        else:
+            part_start = _np.maximum.accumulate(_np.where(part_change, positions, 0))
+        anchor = _np.maximum.accumulate(_np.where(key_change, positions, 0))
+        ranks_sorted = anchor - part_start + 1
+        out = _np.empty(n, dtype=_np.int64)
+        out[order] = ranks_sorted
+        return out.astype(object)
+    return _rank_python(order_columns, partition_columns, n)
+
+
+def _rank_python(order_columns, partition_columns, n: int):
+    """Pure-Python rank identical to ``Table.attach_rank``."""
+    order_values = [c.tolist() for c in order_columns]
+    part_values = [c.tolist() for c in partition_columns]
+    keys = list(zip(*order_values)) if order_values else [()] * n
+    groups: dict[tuple, list[int]] = {}
+    if part_values:
+        part_keys = list(zip(*part_values))
+    else:
+        part_keys = [()] * n
+    for position in range(n):
+        groups.setdefault(part_keys[position], []).append(position)
+    ranks = [0] * n
+    for positions in groups.values():
+        order = sorted(positions, key=lambda position: sort_key(keys[position]))
+        previous_key = None
+        rank = 0
+        for sorted_position, row_position in enumerate(order, start=1):
+            key = keys[row_position]
+            if key != previous_key:
+                rank = sorted_position
+                previous_key = key
+            ranks[row_position] = rank
+    if numpy_active():
+        out = _np.empty(n, dtype=object)
+        out[:] = ranks
+        return out
+    return ranks
+
+
+def dense_rank_map(keys: Iterable[tuple]) -> dict:
+    """Map each distinct key tuple to its ``DENSE_RANK`` (1-based, gap-free).
+
+    Keys are ordered by :func:`sort_key`; used by the relational engine's
+    window-function pass.
+    """
+    distinct = set(keys)
+    return {key: rank for rank, key in enumerate(sorted(distinct, key=sort_key), start=1)}
+
+
+def equi_join_indices(probe: Column, build: Column):
+    """Vectorized single-key equi-join: ``(probe_idx, build_idx)`` or ``None``.
+
+    Sort-merge on the numeric shadows — stable argsort of the build column,
+    a ``searchsorted`` pair per bound, then a flat-index gather.  Output is
+    probe-major with each probe row's matches in original build order (the
+    stable sort keeps equal keys in scan order), exactly the bucket order of
+    the hash row path.
+
+    Declines (``None``) whenever shadow equality could diverge from Python
+    ``dict`` key equality: strings on either side (they shadow to NaN),
+    inexact shadows (ints beyond 2**53), or NULLs (``None`` keys *match* in
+    the row path's buckets, but NaN never equals itself).
+    """
+    np = active_numpy()
+    if np is None or not (probe.vectorized and build.vectorized):
+        return None
+    if probe.has_strings or build.has_strings:
+        return None
+    if not (probe.shadow_exact and build.shadow_exact):
+        return None
+    if not (probe.notnull.all() and build.notnull.all()):
+        return None
+    build_order = np.argsort(build.shadow, kind="stable")
+    sorted_build = build.shadow[build_order]
+    low = np.searchsorted(sorted_build, probe.shadow, side="left")
+    high = np.searchsorted(sorted_build, probe.shadow, side="right")
+    counts = high - low
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    starts = np.cumsum(counts) - counts
+    flat = np.arange(total, dtype=np.int64) - np.repeat(starts, counts) + np.repeat(low, counts)
+    probe_indices = np.repeat(np.arange(probe.length, dtype=np.int64), counts)
+    return probe_indices, build_order[flat]
+
+
+# ---------------------------------------------------------------------------
+# Columnar tables
+# ---------------------------------------------------------------------------
+
+
+class ColumnarTable:
+    """Column-major twin of :class:`repro.algebra.table.Table`.
+
+    Shares column *objects* across derived tables (projection is O(width));
+    conversion back to a row :class:`Table` restores the exact Python objects
+    that entered, so row/columnar execution is bit-for-bit interchangeable.
+    """
+
+    __slots__ = ("columns", "cols", "length", "_index_of")
+
+    def __init__(self, columns: Sequence[str], cols: Sequence[Column], length: int):
+        self.columns: tuple[str, ...] = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            from repro.errors import AlgebraError
+
+            raise AlgebraError(f"duplicate column names in table schema {self.columns}")
+        self.cols: tuple[Column, ...] = tuple(cols)
+        self.length = length
+        self._index_of = {name: index for index, name in enumerate(self.columns)}
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ColumnarTable(columns={self.columns}, rows={self.length})"
+
+    @property
+    def vectorized(self) -> bool:
+        return all(c.vectorized for c in self.cols) if self.cols else numpy_active()
+
+    @classmethod
+    def from_rows(cls, columns: Sequence[str], rows: Sequence[tuple]) -> "ColumnarTable":
+        columns = tuple(columns)
+        n = len(rows)
+        if n == 0:
+            data: Sequence[Sequence[object]] = [[] for _ in columns]
+        else:
+            data = list(zip(*rows))
+        return cls(columns, [Column.from_values(values) for values in data], n)
+
+    @classmethod
+    def from_table(cls, table) -> "ColumnarTable":
+        return cls.from_rows(table.columns, table.rows)
+
+    def to_table(self):
+        from repro.algebra.table import Table
+
+        if self.length == 0:
+            return Table.unchecked(self.columns, [])
+        return Table.unchecked(self.columns, list(zip(*(c.tolist() for c in self.cols))))
+
+    def column_index(self, name: str) -> int:
+        from repro.errors import AlgebraError
+
+        try:
+            return self._index_of[name]
+        except KeyError:
+            raise AlgebraError(f"unknown column {name!r}; schema is {self.columns}") from None
+
+    def col(self, name: str) -> Column:
+        return self.cols[self.column_index(name)]
+
+    def iter_rows(self) -> Iterator[tuple]:
+        return zip(*(c.tolist() for c in self.cols)) if self.cols else iter(())
+
+    def project(self, items: Sequence[tuple[str, str]]) -> "ColumnarTable":
+        """Project/rename sharing the underlying columns (O(width))."""
+        return ColumnarTable(
+            [new for new, _old in items],
+            [self.cols[self.column_index(old)] for _new, old in items],
+            self.length,
+        )
+
+    def take(self, indices) -> "ColumnarTable":
+        count = len(indices)
+        return ColumnarTable(self.columns, [c.take(indices) for c in self.cols], count)
+
+    def filter(self, mask) -> "ColumnarTable":
+        count = mask_count(mask)
+        if count == self.length:
+            return self
+        return ColumnarTable(self.columns, [c.filter(mask) for c in self.cols], count)
+
+    def with_column(self, name: str, column: Column) -> "ColumnarTable":
+        from repro.errors import AlgebraError
+
+        if name in self._index_of:
+            raise AlgebraError(f"attach: column {name!r} already exists")
+        return ColumnarTable(self.columns + (name,), self.cols + (column,), self.length)

@@ -13,9 +13,14 @@ table scans").  It therefore doubles as
 Shared sub-plans are evaluated once (memoised by node identity), matching
 the behaviour of a common table expression.
 
-Two execution modes share the operator semantics bit-for-bit:
+Three execution modes share the operator semantics bit-for-bit:
 
-* ``compiled=True`` (default) — the vectorized core: predicates are
+* ``columnar=True`` (the default when ``compiled``) — the columnar core:
+  operators evaluate over :class:`~repro.algebra.columnar.ColumnarTable`
+  columns, selections become boolean masks over whole columns, hash joins
+  gather match indices and build output columns with array takes, and range
+  joins locate *all* probe bounds with batched ``searchsorted`` calls.
+* ``compiled=True, columnar=False`` — the compiled row core: predicates are
   compiled once per operator into positional-index closures (no per-row
   dicts), and joins whose predicate is a conjunction of range bounds on a
   single column — which is what every Fig. 3 axis step compiles to —
@@ -33,7 +38,9 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Sequence
 
-from repro.errors import ExecutionError, QueryTimeoutError
+from repro.errors import AlgebraError, ExecutionError, QueryTimeoutError
+from repro.algebra import columnar as _columnar
+from repro.algebra.columnar import Column, ColumnarTable
 from repro.algebra.operators import (
     Attach,
     Cross,
@@ -55,8 +62,11 @@ from repro.algebra.predicates import (
     Predicate,
     Term,
     compile_comparisons,
+    compile_comparisons_mask,
     compile_predicate,
+    compile_predicate_mask,
     compile_term,
+    compile_term_columnar,
 )
 from repro.algebra.table import Table
 
@@ -73,9 +83,16 @@ class PlanInterpreter:
         Optional execution budget; exceeding it raises
         :class:`~repro.errors.QueryTimeoutError` (the paper's "DNF").
     compiled:
-        Use the vectorized execution core (compiled predicates + sort-based
+        Use the compiled execution core (compiled predicates + sort-based
         range joins).  ``False`` selects the naive per-row-dict reference
         path; both produce identical tables, row order included.
+    columnar:
+        Evaluate over :class:`~repro.algebra.columnar.ColumnarTable` columns
+        with mask selections and batch joins instead of per-row closures.
+        Defaults to following ``compiled`` (so the default interpreter is
+        columnar); forced off when ``compiled`` is ``False`` — the naive
+        path is the reference baseline and stays row-at-a-time.  All three
+        modes produce identical tables, row order included.
     parameters:
         Late bindings for the :class:`~repro.algebra.predicates.Parameter`
         slots a prepared plan carries.  Every predicate is resolved against
@@ -90,10 +107,12 @@ class PlanInterpreter:
         timeout_seconds: Optional[float] = None,
         compiled: bool = True,
         parameters: Optional[Mapping[str, object]] = None,
+        columnar: Optional[bool] = None,
     ):
         self.doc_table = doc_table
         self.timeout_seconds = timeout_seconds
         self.compiled = compiled
+        self.columnar = compiled and (columnar if columnar is not None else True)
         self.parameters = dict(parameters) if parameters else None
         self._deadline: Optional[float] = None
         self._memo: dict[int, Table] = {}
@@ -116,7 +135,10 @@ class PlanInterpreter:
             self._deadline = time.perf_counter() + self.timeout_seconds
         else:
             self._deadline = None
-        return self._evaluate(plan)
+        result = self._evaluate(plan)
+        if self.columnar:
+            return result.to_table()
+        return result
 
     # -- evaluation -------------------------------------------------------------
 
@@ -129,7 +151,7 @@ class PlanInterpreter:
         if id(node) in self._memo:
             return self._memo[id(node)]
         self._check_deadline()
-        result = self._dispatch(node)
+        result = self._dispatch_columnar(node) if self.columnar else self._dispatch(node)
         self.operators_evaluated += 1
         self.rows_materialised += len(result)
         self._memo[id(node)] = result
@@ -168,6 +190,291 @@ class PlanInterpreter:
             return self._group_aggregate(node)
         raise ExecutionError(f"cannot evaluate operator {type(node).__name__}")
 
+    # -- columnar evaluation ------------------------------------------------------
+    #
+    # The columnar twins of the operators above.  Results flow between
+    # operators as ColumnarTables (one array per column); `evaluate` converts
+    # back to a row Table at the very end, restoring the exact Python objects
+    # so all three modes (naive / compiled / columnar) are bit-for-bit
+    # interchangeable.
+
+    def _dispatch_columnar(self, node: Operator) -> ColumnarTable:
+        if isinstance(node, DocTable):
+            return self.doc_table.columnar()
+        if isinstance(node, LiteralTable):
+            # Route through Table to keep its per-row arity validation.
+            return ColumnarTable.from_table(Table(node.columns, node.rows))
+        if isinstance(node, Serialize):
+            return self._evaluate(node.child)
+        if isinstance(node, Project):
+            return self._evaluate(node.child).project(node.items)
+        if isinstance(node, Select):
+            table = self._evaluate(node.child)
+            predicate = self._bound_predicate(node.predicate)
+            mask = compile_predicate_mask(predicate, table.columns)(table)
+            return table.filter(mask)
+        if isinstance(node, Distinct):
+            table = self._evaluate(node.child)
+            return ColumnarTable.from_rows(
+                table.columns, list(dict.fromkeys(table.iter_rows()))
+            )
+        if isinstance(node, Attach):
+            table = self._evaluate(node.child)
+            return table.with_column(
+                node.column, Column.constant(node.value, table.length)
+            )
+        if isinstance(node, RowId):
+            table = self._evaluate(node.child)
+            return table.with_column(node.column, Column.int_sequence(1, table.length))
+        if isinstance(node, RowRank):
+            return self._rank_columnar(node)
+        if isinstance(node, Cross):
+            return self._cross_columnar(self._evaluate(node.left), self._evaluate(node.right))
+        if isinstance(node, Join):
+            return self._join_columnar(node)
+        if isinstance(node, GroupAggregate):
+            return self._group_aggregate_columnar(node)
+        raise ExecutionError(f"cannot evaluate operator {type(node).__name__}")
+
+    def _rank_columnar(self, node: RowRank) -> ColumnarTable:
+        table = self._evaluate(node.child)
+        order_columns = [table.col(name) for name in node.order_by]
+        partition_columns = [table.col(name) for name in node.partition_by]
+        if node.column in table.columns:
+            raise AlgebraError(f"rank: column {node.column!r} already exists")
+        ranks = _columnar.rank_values(order_columns, partition_columns, table.length)
+        return table.with_column(node.column, Column(ranks))
+
+    def _cross_columnar(self, left: ColumnarTable, right: ColumnarTable) -> ColumnarTable:
+        overlap = set(left.columns) & set(right.columns)
+        if overlap:
+            raise AlgebraError(f"cross product with overlapping columns {sorted(overlap)}")
+        return ColumnarTable(
+            left.columns + right.columns,
+            [c.repeat(right.length) for c in left.cols]
+            + [c.tile(left.length) for c in right.cols],
+            left.length * right.length,
+        )
+
+    def _join_columnar(self, node: Join) -> ColumnarTable:
+        left = self._evaluate(node.left)
+        right = self._evaluate(node.right)
+        predicate = self._bound_predicate(node.predicate)
+        output_columns = left.columns + right.columns
+        equi, residual = _split_equijoin_conjuncts(predicate, left.columns, right.columns)
+        if equi:
+            return self._hash_join_columnar(left, right, equi, residual, output_columns)
+        if residual and _columnar.active_numpy() is not None and left.vectorized and right.vectorized:
+            plan = _plan_range_join(residual, left.columns, right.columns)
+            if plan is not None:
+                result = self._range_join_columnar(left, right, plan, output_columns)
+                if result is not None:
+                    self.range_joins += 1
+                    return result
+        # Fallback (no vectorized range plan applies): run the proven row
+        # path — which has its own bisect range join and nested loop, and
+        # updates the range_joins counter itself — then lift the result back
+        # into columns.
+        result = self._join_tables(predicate, left.to_table(), right.to_table())
+        return ColumnarTable.from_table(result)
+
+    def _hash_join_columnar(
+        self,
+        left: ColumnarTable,
+        right: ColumnarTable,
+        equi: list[tuple[str, str]],
+        residual: list[Comparison],
+        output_columns: tuple[str, ...],
+    ) -> ColumnarTable:
+        """Hash equi-join over column arrays; bucket order matches the row path."""
+        if len(equi) == 1:
+            vectorized = _columnar.equi_join_indices(
+                left.col(equi[0][0]), right.col(equi[0][1])
+            )
+            if vectorized is not None:
+                left_indices, right_indices = vectorized
+                return self._joined_columnar(
+                    left, right, left_indices, right_indices, residual, output_columns
+                )
+        left_key_values = [left.col(name).tolist() for name, _ in equi]
+        right_key_values = [right.col(name).tolist() for _, name in equi]
+        buckets: dict = {}
+        left_indices: list[int] = []
+        right_indices: list[int] = []
+        if len(equi) == 1:
+            for position, key in enumerate(right_key_values[0]):
+                buckets.setdefault(key, []).append(position)
+            for position, key in enumerate(left_key_values[0]):
+                if not position & 0x3FFF:
+                    self._check_deadline()
+                matches = buckets.get(key)
+                if matches:
+                    left_indices += [position] * len(matches)
+                    right_indices += matches
+        else:
+            for position, key in enumerate(zip(*right_key_values)):
+                buckets.setdefault(key, []).append(position)
+            for position, key in enumerate(zip(*left_key_values)):
+                if not position & 0x3FFF:
+                    self._check_deadline()
+                matches = buckets.get(key)
+                if matches:
+                    left_indices += [position] * len(matches)
+                    right_indices += matches
+        np = _columnar.active_numpy()
+        if np is not None and left.vectorized and right.vectorized:
+            count = len(left_indices)
+            left_indices = np.fromiter(left_indices, dtype=np.int64, count=count)
+            right_indices = np.fromiter(right_indices, dtype=np.int64, count=count)
+        return self._joined_columnar(
+            left, right, left_indices, right_indices, residual, output_columns
+        )
+
+    def _joined_columnar(
+        self,
+        left: ColumnarTable,
+        right: ColumnarTable,
+        left_indices,
+        right_indices,
+        residual: list[Comparison],
+        output_columns: tuple[str, ...],
+    ) -> ColumnarTable:
+        combined = ColumnarTable(
+            output_columns,
+            [c.take(left_indices) for c in left.cols]
+            + [c.take(right_indices) for c in right.cols],
+            len(left_indices),
+        )
+        if residual:
+            mask = compile_comparisons_mask(residual, output_columns)(combined)
+            combined = combined.filter(mask)
+        return combined
+
+    def _range_join_columnar(
+        self,
+        left: ColumnarTable,
+        right: ColumnarTable,
+        plan: "_RangeJoinPlan",
+        output_columns: tuple[str, ...],
+    ) -> Optional[ColumnarTable]:
+        """Batch-bisect range join; returns ``None`` to signal a fallback.
+
+        The vectorized counterpart of :meth:`_range_join_rows`: the build
+        side's column is sorted once, then *all* probe bounds are located
+        with one ``searchsorted`` call per bound.  Output order is restored
+        with a lexsort over (build, probe) positions so rows come out in the
+        exact nested-loop order of the row path.
+        """
+        np = _columnar.active_numpy()
+        build, probe = (left, right) if plan.build_side == "left" else (right, left)
+        build_column = build.col(plan.column)
+        if build_column.has_strings or not build_column.shadow_exact:
+            return None  # mirror the row path: non-numeric build values bail out
+        build_positions = np.flatnonzero(build_column.notnull)  # None never matches
+        values = build_column.shadow[build_positions]
+        order = np.argsort(values, kind="stable")
+        sorted_values = values[order]
+        sorted_positions = build_positions[order]
+        total = len(sorted_values)
+        probe_n = probe.length
+        index_of = {name: i for i, name in enumerate(probe.columns)}
+        low = np.zeros(probe_n, dtype=np.int64)
+        high = np.full(probe_n, total, dtype=np.int64)
+        usable = np.ones(probe_n, dtype=bool)
+        for op, term in plan.bounds:
+            value = compile_term_columnar(term, index_of)(probe)
+            if isinstance(value, Column):
+                if not value.shadow_exact:
+                    return None
+                bounds = value.shadow  # NaN marks None / non-numeric bounds
+            elif value is None or not isinstance(value, (int, float)):
+                bounds = np.full(probe_n, _columnar._NAN)
+            else:
+                bounds = np.full(probe_n, float(value))
+            usable &= ~np.isnan(bounds)
+            if op in (">", ">=", "="):
+                side = "left" if op in (">=", "=") else "right"
+                np.maximum(low, np.searchsorted(sorted_values, bounds, side=side), out=low)
+            if op in ("<", "<=", "="):
+                side = "right" if op in ("<=", "=") else "left"
+                np.minimum(high, np.searchsorted(sorted_values, bounds, side=side), out=high)
+        counts = np.where(usable & (low < high), high - low, 0)
+        total_out = int(counts.sum())
+        if total_out == 0:
+            return ColumnarTable.from_rows(output_columns, [])
+        self._check_deadline()
+        probe_indices = np.repeat(np.arange(probe_n), counts)
+        starts = np.cumsum(counts) - counts
+        flat = np.arange(total_out) - np.repeat(starts, counts) + np.repeat(low, counts)
+        build_indices = sorted_positions[flat]
+        if plan.build_side == "left":
+            final = np.lexsort((probe_indices, build_indices))
+            left_indices = build_indices[final]
+            right_indices = probe_indices[final]
+        else:
+            final = np.lexsort((build_indices, probe_indices))
+            left_indices = probe_indices[final]
+            right_indices = build_indices[final]
+        combined = ColumnarTable(
+            output_columns,
+            [c.take(left_indices) for c in left.cols]
+            + [c.take(right_indices) for c in right.cols],
+            total_out,
+        )
+        if plan.remaining:
+            mask = compile_comparisons_mask(plan.remaining, output_columns)(combined)
+            combined = combined.filter(mask)
+        return combined
+
+    def _group_aggregate_columnar(self, node: GroupAggregate) -> ColumnarTable:
+        """Columnar Aggr with the exact fold order of :meth:`_group_aggregate`."""
+        child = self._evaluate(node.child)
+        loop = self._evaluate(node.loop)
+        group_values = child.col(node.group_column).tolist()
+        unit_values = child.col(node.unit_column).tolist()
+        value_values = (
+            child.col(node.value_column).tolist() if node.value_column is not None else None
+        )
+        counts: dict = {}
+        grouped_values: dict = {}
+        seen: set[tuple] = set()
+        for position in range(child.length):
+            if not position & 0x3FFF:
+                self._check_deadline()
+            group = group_values[position]
+            identity = (
+                group,
+                unit_values[position],
+                None if value_values is None else value_values[position],
+            )
+            if identity in seen:
+                continue
+            seen.add(identity)
+            if node.function == "count":
+                counts[group] = counts.get(group, 0) + 1
+            else:
+                grouped_values.setdefault(group, []).append(value_values[position])
+        loop_keys = loop.col(node.group_column).tolist()
+        if node.function == "count":
+            items = [counts.get(key, 0) for key in loop_keys]
+            return loop.with_column(node.item_column, Column.from_values(items))
+        folded: dict = {}
+        for key, group_vals in grouped_values.items():
+            values = [v for v in group_vals if v is not None]
+            if node.function == "sum":
+                folded[key] = sum(values) if values else 0
+            elif values:  # avg of an empty group emits no row
+                folded[key] = sum(values) / len(values)
+        if node.function == "sum":
+            items = [folded.get(key, 0) for key in loop_keys]
+            return loop.with_column(node.item_column, Column.from_values(items))
+        keep = [key in folded for key in loop_keys]
+        items = [folded[key] for key in loop_keys if key in folded]
+        np = _columnar.active_numpy()
+        if np is not None and loop.vectorized:
+            keep = np.array(keep, dtype=bool)
+        return loop.filter(keep).with_column(node.item_column, Column.from_values(items))
+
     # -- join evaluation ----------------------------------------------------------
 
     def _bound_predicate(self, predicate: Predicate) -> Predicate:
@@ -182,6 +489,10 @@ class PlanInterpreter:
         predicate = self._bound_predicate(node.predicate)
         if not self.compiled:
             return self._join_naive(predicate, left, right)
+        return self._join_tables(predicate, left, right)
+
+    def _join_tables(self, predicate: Predicate, left: Table, right: Table) -> Table:
+        """The compiled (row-tuple) join: hash equi-join / range join / nested loop."""
         equi, residual = _split_equijoin_conjuncts(predicate, left.columns, right.columns)
         output_columns = left.columns + right.columns
         residual_test = (
@@ -540,8 +851,13 @@ def evaluate_plan(
     timeout_seconds: Optional[float] = None,
     compiled: bool = True,
     parameters: Optional[Mapping[str, object]] = None,
+    columnar: Optional[bool] = None,
 ) -> Table:
     """Convenience wrapper: evaluate ``plan`` against ``doc_table``."""
     return PlanInterpreter(
-        doc_table, timeout_seconds=timeout_seconds, compiled=compiled, parameters=parameters
+        doc_table,
+        timeout_seconds=timeout_seconds,
+        compiled=compiled,
+        parameters=parameters,
+        columnar=columnar,
     ).evaluate(plan)

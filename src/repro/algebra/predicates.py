@@ -415,6 +415,79 @@ def compile_comparisons(
     return _all
 
 
+# ---------------------------------------------------------------------------
+# Columnar (mask) compilation
+# ---------------------------------------------------------------------------
+#
+# The columnar twins of ``compile_term`` / ``compile_comparisons``: a term
+# compiles into a closure over a :class:`~repro.algebra.columnar.ColumnarTable`
+# returning a whole :class:`~repro.algebra.columnar.Column` (or a scalar), and
+# a conjunction compiles into a closure returning one boolean *mask* over all
+# rows.  The mask kernels in :mod:`repro.algebra.columnar` implement exactly
+# the :func:`_compare` reference semantics, vectorized where provably safe
+# and element-by-element otherwise, so masks agree bit-for-bit with the
+# compiled row closures above.
+
+
+def compile_term_columnar(term: Term, index_of: Mapping[str, int]):
+    """Compile ``term`` into a closure over a :class:`ColumnarTable`."""
+    from repro.algebra import columnar as _columnar
+
+    if isinstance(term, ColumnRef):
+        try:
+            position = index_of[term.name]
+        except KeyError:
+            raise AlgebraError(
+                f"unknown column {term.name!r} in predicate compilation"
+            ) from None
+        return lambda table: table.cols[position]
+    if isinstance(term, Literal):
+        value = term.value
+        return lambda table: value
+    if isinstance(term, Sum):
+        parts = tuple(compile_term_columnar(part, index_of) for part in term.terms)
+        return lambda table: _columnar.sum_columns(
+            [part(table) for part in parts], table.length
+        )
+    if isinstance(term, Parameter):
+        raise AlgebraError(
+            f"parameter ${term.name} must be bound before predicate compilation; "
+            "call Predicate.bind() or pass parameters to the interpreter"
+        )
+    raise AlgebraError(f"cannot compile term {term!r}")
+
+
+def compile_comparisons_mask(comparisons: Iterable[Comparison], columns: Sequence[str]):
+    """Compile a conjunction into one mask closure over a :class:`ColumnarTable`."""
+    from repro.algebra import columnar as _columnar
+
+    index_of = {name: position for position, name in enumerate(columns)}
+    compiled = tuple(
+        (
+            compile_term_columnar(conjunct.left, index_of),
+            conjunct.op,
+            compile_term_columnar(conjunct.right, index_of),
+        )
+        for conjunct in comparisons
+    )
+
+    def _mask(table):
+        mask = None
+        for left, op, right in compiled:
+            conjunct_mask = _columnar.compare_mask(left(table), op, right(table), table.length)
+            mask = conjunct_mask if mask is None else _columnar.mask_and(mask, conjunct_mask)
+            if not _columnar.mask_any(mask):
+                break
+        return mask
+
+    return _mask
+
+
+def compile_predicate_mask(predicate: Predicate, columns: Sequence[str]):
+    """Columnar twin of :func:`compile_predicate`: one boolean mask per call."""
+    return compile_comparisons_mask(predicate.conjuncts, columns)
+
+
 def column(name: str) -> ColumnRef:
     """Shorthand constructor used pervasively by the compiler."""
     return ColumnRef(name)

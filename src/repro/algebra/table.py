@@ -12,18 +12,20 @@ from __future__ import annotations
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import AlgebraError
+from repro.algebra import columnar as _columnar
 
 
 class Table:
     """An ordered, duplicate-preserving table with named columns."""
 
-    __slots__ = ("columns", "rows", "_index_of")
+    __slots__ = ("columns", "rows", "_index_of", "_columnar")
 
     def __init__(self, columns: Sequence[str], rows: Iterable[Sequence[object]] = ()):
         self.columns: tuple[str, ...] = tuple(columns)
         if len(set(self.columns)) != len(self.columns):
             raise AlgebraError(f"duplicate column names in table schema {self.columns}")
         self._index_of = {name: index for index, name in enumerate(self.columns)}
+        self._columnar = None
         self.rows: list[tuple] = []
         width = len(self.columns)
         for row in rows:
@@ -48,13 +50,21 @@ class Table:
 
         Hot-path constructor for operators that derive rows from an existing
         table's tuples — the per-row arity check of ``__init__`` would
-        otherwise dominate selection/join cost.  The schema is still checked.
+        otherwise dominate selection/join cost.  The schema is still checked,
+        and under ``__debug__`` the first row's arity is asserted so rows
+        built against a different schema width fail here instead of deep
+        inside a downstream operator.
         """
         table = cls.__new__(cls)
         table.columns = tuple(columns)
         if len(set(table.columns)) != len(table.columns):
             raise AlgebraError(f"duplicate column names in table schema {table.columns}")
+        assert not rows or len(rows[0]) == len(table.columns), (
+            f"unchecked row arity {len(rows[0])} does not match "
+            f"schema arity {len(table.columns)}: {rows[0]!r}"
+        )
         table._index_of = {name: index for index, name in enumerate(table.columns)}
+        table._columnar = None
         table.rows = rows
         return table
 
@@ -83,6 +93,19 @@ class Table:
             return self._index_of[name]
         except KeyError:
             raise AlgebraError(f"unknown column {name!r}; schema is {self.columns}") from None
+
+    def columnar(self) -> "_columnar.ColumnarTable":
+        """This table's columnar twin, memoised per instance.
+
+        Tables are treated as immutable once built, so the conversion (one
+        array per column) is paid at most once — the doc table's columns in
+        particular are shared across every plan evaluated against it.
+        """
+        cached = self._columnar
+        if cached is None or cached.vectorized != _columnar.numpy_active():
+            cached = _columnar.ColumnarTable.from_table(self)
+            self._columnar = cached
+        return cached
 
     def column_values(self, name: str) -> list[object]:
         index = self.column_index(name)
@@ -183,16 +206,7 @@ class Table:
         )
 
 
-def _sort_key(values: tuple) -> tuple:
-    """Total order over heterogeneous values (None < numbers < strings)."""
-    key = []
-    for value in values:
-        if value is None:
-            key.append((0, 0))
-        elif isinstance(value, bool):
-            key.append((1, int(value)))
-        elif isinstance(value, (int, float)):
-            key.append((1, value))
-        else:
-            key.append((2, str(value)))
-    return tuple(key)
+# Total order over heterogeneous values (None < numbers < strings).  The
+# canonical definition lives in the columnar module so the vectorized rank
+# kernels and the row path provably share one ordering.
+_sort_key = _columnar.sort_key

@@ -287,20 +287,23 @@ class XQueryProcessor:
         plan_cache: Optional[PlanCache] = None,
         plan_cache_size: int = 128,
         sql_backend: Optional[SQLiteBackend] = None,
+        columnar_execution: bool = True,
     ):
         self.encoding = encoding
         self.default_document = default_document or (
             encoding.document_uris()[0] if encoding.document_uris() else None
         )
         self.add_serialization_step = add_serialization_step
+        self.columnar_execution = columnar_execution
         self.doc_table = Table(DOC_COLUMNS, encoding.rows())
         self.database = database or database_from_encoding(
             encoding, with_default_indexes=with_default_indexes
         )
-        self.engine = RelationalEngine(self.database)
+        self.engine = RelationalEngine(self.database, columnar=columnar_execution)
         self.settings = CompilerSettings(
             add_serialization_step=self.add_serialization_step,
             default_document=self.default_document,
+            columnar_execution=columnar_execution,
         )
         #: Keyed LRU of compilation results (see :class:`PlanCache` for the
         #: key contract).  May be shared between processors serving the same

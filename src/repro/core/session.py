@@ -164,11 +164,13 @@ class Session:
         add_serialization_step: bool = False,
         plan_cache_size: int = 128,
         sql_backend: Optional[SQLiteBackend] = None,
+        columnar_execution: bool = True,
     ):
         self.store = store or DocumentStore()
         self.default_document = default_document
         self.with_default_indexes = with_default_indexes
         self.add_serialization_step = add_serialization_step
+        self.columnar_execution = columnar_execution
         self.plan_cache = PlanCache(plan_cache_size)
         #: The session-owned SQLite mirror of the catalog.  Handed to every
         #: processor rebuild, so registration only ever *appends* to it
@@ -225,6 +227,7 @@ class Session:
                     add_serialization_step=self.add_serialization_step,
                     plan_cache=self.plan_cache,
                     sql_backend=self.sql_backend,
+                    columnar_execution=self.columnar_execution,
                 )
             self._current = (version, processor)
             return processor

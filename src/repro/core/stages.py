@@ -484,7 +484,10 @@ def _run_interpreted(
     with _timed(timings, "bind"):
         values = check_bindings(compilation.external_variables, bindings)
     interpreter = PlanInterpreter(
-        context.doc_table, timeout_seconds=timeout_seconds, parameters=values or None
+        context.doc_table,
+        timeout_seconds=timeout_seconds,
+        parameters=values or None,
+        columnar=context.settings.columnar_execution,
     )
     with _timed(timings, "execute"):
         table = interpreter.evaluate(plan)
@@ -564,7 +567,10 @@ def run_sql(
         )
     with _timed(timings, "decode"):
         items = ordered_items(
-            result.columns, result.rows, distinct=not compilation.value_result
+            result.columns,
+            result.rows,
+            distinct=not compilation.value_result,
+            column_data=result.column_data,
         )
     return ExecutionOutcome(
         items=items, configuration="sql", details=result, timings=timings
@@ -593,7 +599,10 @@ def run_sql_stacked(
         )
     with _timed(timings, "decode"):
         items = sequence_items(
-            result.columns, result.rows, distinct=not compilation.value_result
+            result.columns,
+            result.rows,
+            distinct=not compilation.value_result,
+            column_data=result.column_data,
         )
     return ExecutionOutcome(
         items=items, configuration="sql-stacked", details=result, timings=timings

@@ -45,10 +45,13 @@ def order_key(values: Sequence[object]) -> tuple:
 
 
 class _Leaf:
-    __slots__ = ("keys", "payloads", "next")
+    __slots__ = ("keys", "order_keys", "payloads", "next")
 
     def __init__(self) -> None:
         self.keys: list[tuple] = []
+        #: ``order_key`` form of every entry, decorated once at bulk load —
+        #: probes bisect these directly instead of re-decorating the leaf.
+        self.order_keys: list[tuple] = []
         self.payloads: list[tuple] = []
         self.next: Optional["_Leaf"] = None
 
@@ -57,18 +60,29 @@ class _Internal:
     __slots__ = ("separators", "children")
 
     def __init__(self) -> None:
+        #: Separators are stored in ``order_key`` (comparable) form.
         self.separators: list[tuple] = []
         self.children: list[object] = []
 
 
 class BPlusTree:
-    """A read-optimised B+-tree over ``(key, payload)`` entries."""
+    """A read-optimised B+-tree over ``(key, payload)`` entries.
+
+    The tree is immutable after the bulk load, so every key's comparable
+    ``order_key`` form is computed exactly once — at build time — and
+    stored alongside the raw key.  Probes and range scans then bisect the
+    precomputed forms; re-decorating a leaf per scan used to dominate
+    index-nested-loop join time.
+    """
 
     def __init__(self, entries: Iterable[tuple[tuple, tuple]], order: int = DEFAULT_ORDER):
         self.order = max(4, order)
-        sorted_entries = sorted(entries, key=lambda entry: order_key(entry[0]))
-        self._size = len(sorted_entries)
-        self.root, self.first_leaf = self._bulk_load(sorted_entries)
+        decorated = sorted(
+            ((order_key(key), key, payload) for key, payload in entries),
+            key=lambda entry: entry[0],
+        )
+        self._size = len(decorated)
+        self.root, self.first_leaf = self._bulk_load(decorated)
         self.height = self._measure_height()
 
     def __len__(self) -> int:
@@ -76,18 +90,19 @@ class BPlusTree:
 
     # -- construction ---------------------------------------------------------------
 
-    def _bulk_load(self, entries: list[tuple[tuple, tuple]]):
+    def _bulk_load(self, entries: list[tuple[tuple, tuple, tuple]]):
         leaves: list[_Leaf] = []
         for start in range(0, max(len(entries), 1), self.order):
             leaf = _Leaf()
-            for key, payload in entries[start : start + self.order]:
+            for comparable, key, payload in entries[start : start + self.order]:
+                leaf.order_keys.append(comparable)
                 leaf.keys.append(key)
                 leaf.payloads.append(payload)
             leaves.append(leaf)
         for left, right in zip(leaves, leaves[1:]):
             left.next = right
         level: list[object] = list(leaves)
-        level_keys = [leaf.keys[0] if leaf.keys else () for leaf in leaves]
+        level_keys = [leaf.order_keys[0] if leaf.order_keys else () for leaf in leaves]
         while len(level) > 1:
             parents: list[object] = []
             parent_keys: list[tuple] = []
@@ -111,15 +126,14 @@ class BPlusTree:
 
     # -- search ------------------------------------------------------------------------
 
-    def _descend(self, key: tuple) -> _Leaf:
+    def _descend(self, comparable: tuple) -> _Leaf:
         node = self.root
-        comparable = order_key(key)
         while isinstance(node, _Internal):
             # bisect_left, not bisect_right: when the search key equals a
             # separator, duplicates of that key may extend back into the
             # child *left* of the separator, and the range scan walks
             # forward over the leaf chain from there.
-            index = bisect.bisect_left([order_key(k) for k in node.separators], comparable)
+            index = bisect.bisect_left(node.separators, comparable)
             node = node.children[index]
         return node  # type: ignore[return-value]
 
@@ -135,11 +149,11 @@ class BPlusTree:
         A bound that is shorter than the full composite key behaves like a
         prefix bound: ``low=(name,)`` starts at the first key with that name.
         """
-        leaf = self._descend(low) if low is not None else self.first_leaf
         low_key = order_key(low) if low is not None else None
         high_key = order_key(high) if high is not None else None
+        leaf = self._descend(low_key) if low_key is not None else self.first_leaf
         while leaf is not None:
-            leaf_keys = [order_key(k) for k in leaf.keys]
+            leaf_keys = leaf.order_keys
             start = 0
             if low_key is not None:
                 start = bisect.bisect_left(leaf_keys, low_key)

@@ -26,12 +26,18 @@ from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from repro.errors import PlanningError
-from repro.algebra.table import _sort_key
+from repro.algebra import columnar as _columnar
+from repro.algebra.columnar import Column
 from repro.core.joingraph import ConstantTerm, JoinGraph, PlanTail
 from repro.core.sqlgen import aggregate_inner_items, _having_excluded
 from repro.relational.catalog import Database
 from repro.relational.optimizer.planner import PlannedQuery, Planner
-from repro.relational.physical.operators import ExecutionContext
+from repro.relational.physical.operators import (
+    ExecutionContext,
+    Return,
+    Sort,
+    compile_term_columnar,
+)
 
 
 def _constant_value(term) -> object:
@@ -73,11 +79,20 @@ class QueryResult:
 
 
 class RelationalEngine:
-    """Plan and execute join graphs against an in-memory :class:`Database`."""
+    """Plan and execute join graphs against an in-memory :class:`Database`.
 
-    def __init__(self, database: Database):
+    ``columnar`` selects the vectorized physical paths (mask scans, columnar
+    hash joins, batch rank passes); ``False`` pins the row-at-a-time
+    operators, kept as the differential baseline.
+    """
+
+    def __init__(self, database: Database, columnar: bool = True):
         self.database = database
+        self.columnar = columnar
         self.planner = Planner(database)
+
+    def _context(self, timeout_seconds: Optional[float]) -> ExecutionContext:
+        return ExecutionContext(timeout_seconds, columnar=self.columnar)
 
     def _resolve(self, graph: JoinGraph, bindings: Optional[Mapping[str, object]]) -> JoinGraph:
         """Late-bind parameter slots; refuse to plan a graph with open slots."""
@@ -136,7 +151,7 @@ class RelationalEngine:
         if resolved.windows or resolved.having:
             return self._execute_filtered(resolved, timeout_seconds)
         planned = self.planner.plan(resolved)
-        ctx = ExecutionContext(timeout_seconds)
+        ctx = self._context(timeout_seconds)
         rows = list(planned.root.results(ctx))
         return QueryResult(
             rows=rows,
@@ -190,7 +205,7 @@ class RelationalEngine:
             tail=graph.tail,
         )
         planned = self.planner.plan(main_graph)
-        ctx = ExecutionContext(timeout_seconds)
+        ctx = self._context(timeout_seconds)
         rows = list(planned.root.results(ctx))
         scanned, probes = ctx.rows_scanned, ctx.index_probes
 
@@ -251,17 +266,45 @@ class RelationalEngine:
             tail=PlanTail(distinct=True, order_terms=[], output_column="k0"),
         )
         planned = self.planner.plan(scope_graph)
-        ctx = ExecutionContext(timeout_seconds)
+        ctx = self._context(timeout_seconds)
         partition_width = len(spec.partition)
         partitions: dict[tuple, set[tuple]] = {}
-        for row in planned.root.results(ctx):
-            key = tuple(row[f"k{index}"] for index in range(len(key_terms)))
+        for key in self._scope_keys(planned, ctx, len(key_terms)):
             partitions.setdefault(key[:partition_width], set()).add(key[partition_width:])
         ranks: dict[tuple, int] = {}
         for partition_key, order_keys in partitions.items():
-            for rank, order_key in enumerate(sorted(order_keys, key=_sort_key), start=1):
+            for order_key, rank in _columnar.dense_rank_map(order_keys).items():
                 ranks[partition_key + order_key] = rank
         return ranks, ctx.rows_scanned, ctx.index_probes
+
+    def _scope_keys(self, planned: PlannedQuery, ctx: ExecutionContext, count: int):
+        """Key tuples of a rank/bundle scope query, column-wise when possible.
+
+        The scope plan's tail is ``SORT DISTINCT`` + ``RETURN`` — both
+        irrelevant when the keys land in per-partition *sets* — so the
+        vectorized path peels them off and evaluates the select terms over
+        the child's columnar result, skipping the per-row dict building and
+        the Python sort entirely.  Falls back to the row path whenever the
+        child cannot produce columns (e.g. index nested-loop plans).
+        """
+        root = planned.root
+        if self.columnar and isinstance(root, Return):
+            child = root.child
+            if isinstance(child, Sort):
+                child = child.child
+            if child.can_columnar():
+                table = child.as_columnar(ctx)
+                slots = child.slots()
+                key_lists = []
+                for term, _name in root.select_items[:count]:
+                    value = compile_term_columnar(term, slots)(table)
+                    if isinstance(value, Column):
+                        key_lists.append(value.tolist())
+                    else:
+                        key_lists.append([value] * table.length)
+                return zip(*key_lists)
+        names = [f"k{index}" for index in range(count)]
+        return (tuple(row[name] for name in names) for row in root.results(ctx))
 
     def _having_values(
         self,
@@ -302,7 +345,7 @@ class RelationalEngine:
             tail=PlanTail(distinct=True, order_terms=[], output_column="g"),
         )
         planned = self.planner.plan(bundle)
-        ctx = ExecutionContext(timeout_seconds)
+        ctx = self._context(timeout_seconds)
         groups: dict[object, list[dict[str, object]]] = {}
         for row in planned.root.results(ctx):
             groups.setdefault(row["g"], []).append(row)
@@ -353,7 +396,7 @@ class RelationalEngine:
         assert spec is not None
         _items, _count_column, value_column = aggregate_inner_items(spec)
         planned_inner = self.planner.plan(self._aggregate_inner_graph(graph))
-        inner_ctx = ExecutionContext(timeout_seconds)
+        inner_ctx = self._context(timeout_seconds)
         inner_rows = list(planned_inner.root.results(inner_ctx))
 
         def fold(rows: list[dict[str, object]]) -> Optional[object]:
@@ -388,7 +431,7 @@ class RelationalEngine:
             ),
         )
         planned_outer = self.planner.plan(outer_graph)
-        outer_ctx = ExecutionContext(timeout_seconds)
+        outer_ctx = self._context(timeout_seconds)
         groups: dict[object, list[dict[str, object]]] = {}
         for row in inner_rows:
             groups.setdefault(row["g"], []).append(row)

@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional, Sequence
 
 from repro.errors import ExecutionError, QueryTimeoutError
+from repro.algebra import columnar as _columnar
+from repro.algebra.columnar import Column, ColumnarTable
 from repro.algebra.table import Table
 from repro.core.joingraph import ColumnTerm, Condition, ConstantTerm, ParameterTerm, SumTerm, Term
 from repro.relational.btree import PRE_PLUS_SIZE, BTreeIndex
@@ -158,11 +160,76 @@ def compile_conditions(
     return _all
 
 
-class ExecutionContext:
-    """Shared run-time state: deadline checks and operator counters."""
+def compile_term_columnar(term: Term, slots: SlotMap):
+    """Columnar twin of :func:`compile_term`: a closure over a ColumnarTable.
 
-    def __init__(self, timeout_seconds: Optional[float] = None):
+    The table's columns are positionally aligned with ``slots``.  Returns a
+    :class:`~repro.algebra.columnar.Column` (or a scalar for constants) per
+    call; a column the row does not carry evaluates to NULL, mirroring
+    :func:`compile_term`.
+    """
+    if isinstance(term, ColumnTerm):
+        position = slots.position(term.alias, term.column)
+        if position is None:
+            return lambda table: None
+        return lambda table: table.cols[position]
+    if isinstance(term, ConstantTerm):
+        value = term.value
+        return lambda table: value
+    if isinstance(term, SumTerm):
+        parts = tuple(compile_term_columnar(part, slots) for part in term.terms)
+        return lambda table: _columnar.sum_columns(
+            [part(table) for part in parts], table.length
+        )
+    if isinstance(term, ParameterTerm):
+        raise ExecutionError(
+            f"parameter :{term.name} reached the physical layer unbound; "
+            "bind the join graph (JoinGraph.bind) before planning"
+        )
+    raise ExecutionError(f"cannot compile term {term!r}")
+
+
+def compile_conditions_mask(conditions: Sequence[Condition], slots: SlotMap):
+    """Compile a conjunction into one boolean-mask closure (``None`` if empty).
+
+    The mask kernels share :func:`repro.algebra.columnar.compare_mask`'s
+    reference semantics, so masks agree bit-for-bit with the compiled row
+    closures of :func:`compile_conditions`.
+    """
+    if not conditions:
+        return None
+    compiled = tuple(
+        (
+            compile_term_columnar(condition.left, slots),
+            condition.op,
+            compile_term_columnar(condition.right, slots),
+        )
+        for condition in conditions
+    )
+
+    def _mask(table: ColumnarTable):
+        mask = None
+        for left, op, right in compiled:
+            conjunct = _columnar.compare_mask(left(table), op, right(table), table.length)
+            mask = conjunct if mask is None else _columnar.mask_and(mask, conjunct)
+            if not _columnar.mask_any(mask):
+                break
+        return mask
+
+    return _mask
+
+
+class ExecutionContext:
+    """Shared run-time state: deadline checks, operator counters, mode flags.
+
+    ``columnar`` selects the vectorized operator paths (mask scans, columnar
+    hash joins); the row paths stay in-tree as the differential baseline and
+    are what ``columnar=False`` runs.
+    """
+
+    def __init__(self, timeout_seconds: Optional[float] = None, columnar: bool = True):
         self.timeout_seconds = timeout_seconds
+        self.columnar = columnar
         self.deadline = (
             time.perf_counter() + timeout_seconds if timeout_seconds is not None else None
         )
@@ -188,6 +255,22 @@ class PhysicalOperator:
     def children(self) -> Sequence["PhysicalOperator"]:
         return ()
 
+    def can_columnar(self) -> bool:
+        """True when :meth:`as_columnar` will produce a result (no side effects)."""
+        return False
+
+    def as_columnar(self, ctx: ExecutionContext) -> Optional[ColumnarTable]:
+        """This operator's full result as a ColumnarTable, or ``None``.
+
+        Operators that can produce their output column-wise (scans, filters,
+        hash joins) implement this; pipelined index operators return ``None``
+        and stay row-at-a-time.  Column order is positionally aligned with
+        :meth:`slots`.  Callers should consult :meth:`can_columnar` first —
+        a partially evaluated columnar tree would double-count scan work on
+        fallback otherwise.
+        """
+        return None
+
     def describe(self) -> str:  # pragma: no cover - abstract
         raise NotImplementedError
 
@@ -212,7 +295,29 @@ class TableScan(PhysicalOperator):
     def slots(self) -> SlotMap:
         return SlotMap.for_table(self.table, self.alias)
 
+    def can_columnar(self) -> bool:
+        return True
+
+    def as_columnar(self, ctx: ExecutionContext) -> Optional[ColumnarTable]:
+        ctx.check()
+        ctx.rows_scanned += len(self.table.rows)
+        base = self.table.columnar()
+        keep = compile_conditions_mask(self.conditions, self.slots())
+        if keep is None:
+            return base
+        return base.filter(keep(base))
+
     def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        if ctx.columnar:
+            if not self.conditions:
+                # Bulk scan: the table's own tuples, counted in one step.
+                ctx.check()
+                ctx.rows_scanned += len(self.table.rows)
+                yield from self.table.rows
+                return
+            result = self.as_columnar(ctx)
+            yield from result.iter_rows()
+            return
         keep = compile_conditions(self.conditions, self.slots())
         for row in self.table.rows:
             ctx.check()
@@ -393,7 +498,87 @@ class HashJoin(PhysicalOperator):
     def slots(self) -> SlotMap:
         return self.outer.slots().concat(self.inner.slots())
 
+    def _key_lists(self, table: ColumnarTable, terms: list[Term], slots: SlotMap) -> list[list]:
+        lists = []
+        for term in terms:
+            value = compile_term_columnar(term, slots)(table)
+            if isinstance(value, Column):
+                lists.append(value.tolist())
+            else:  # constant (or missing-column NULL) key
+                lists.append([value] * table.length)
+        return lists
+
+    def can_columnar(self) -> bool:
+        return self.outer.can_columnar() and self.inner.can_columnar()
+
+    def as_columnar(self, ctx: ExecutionContext) -> Optional[ColumnarTable]:
+        if not self.can_columnar():
+            return None
+        outer = self.outer.as_columnar(ctx)
+        inner = self.inner.as_columnar(ctx)
+        if len(self.outer_terms) == 1:
+            outer_key = compile_term_columnar(self.outer_terms[0], self.outer.slots())(outer)
+            inner_key = compile_term_columnar(self.inner_terms[0], self.inner.slots())(inner)
+            if isinstance(outer_key, Column) and isinstance(inner_key, Column):
+                vectorized = _columnar.equi_join_indices(outer_key, inner_key)
+                if vectorized is not None:
+                    return self._combined(outer, inner, *vectorized)
+        if self.outer_terms:
+            inner_keys = self._key_lists(inner, self.inner_terms, self.inner.slots())
+            outer_keys = self._key_lists(outer, self.outer_terms, self.outer.slots())
+            buckets: dict[tuple, list[int]] = {}
+            for position, key in enumerate(zip(*inner_keys)):
+                buckets.setdefault(key, []).append(position)
+            outer_indices: list[int] = []
+            inner_indices: list[int] = []
+            for position, key in enumerate(zip(*outer_keys)):
+                if not position & 0x3FFF:
+                    ctx.check()
+                matches = buckets.get(key)
+                if matches:
+                    outer_indices += [position] * len(matches)
+                    inner_indices += matches
+        else:
+            # No equi keys: every outer row pairs with every inner row (the
+            # row path hashes on the empty tuple), and the residual does the
+            # actual joining.  Keep the outer-major, inner-in-order pairing.
+            ctx.check()
+            all_inner = list(range(inner.length))
+            outer_indices = [p for p in range(outer.length) for _ in all_inner]
+            inner_indices = all_inner * outer.length
+        np = _columnar.active_numpy()
+        if np is not None and outer.vectorized and inner.vectorized:
+            count = len(outer_indices)
+            outer_indices = np.fromiter(outer_indices, dtype=np.int64, count=count)
+            inner_indices = np.fromiter(inner_indices, dtype=np.int64, count=count)
+        return self._combined(outer, inner, outer_indices, inner_indices)
+
+    def _combined(
+        self,
+        outer: ColumnarTable,
+        inner: ColumnarTable,
+        outer_indices,
+        inner_indices,
+    ) -> ColumnarTable:
+        # Slot names are (alias, column) pairs; the mask compiler is
+        # positional, so synthetic unique names suffice for the schema.
+        combined = ColumnarTable(
+            [f"s{i}" for i in range(len(self.slots()))],
+            [c.take(outer_indices) for c in outer.cols]
+            + [c.take(inner_indices) for c in inner.cols],
+            len(outer_indices),
+        )
+        keep = compile_conditions_mask(self.residual, self.slots())
+        if keep is None:
+            return combined
+        return combined.filter(keep(combined))
+
     def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        if ctx.columnar:
+            result = self.as_columnar(ctx)
+            if result is not None:
+                yield from result.iter_rows()
+                return
         inner_keys = [compile_term(term, self.inner.slots()) for term in self.inner_terms]
         outer_keys = [compile_term(term, self.outer.slots()) for term in self.outer_terms]
         residual = compile_conditions(self.residual, self.slots())
@@ -429,7 +614,22 @@ class Filter(PhysicalOperator):
     def slots(self) -> SlotMap:
         return self.child.slots()
 
+    def can_columnar(self) -> bool:
+        return self.child.can_columnar()
+
+    def as_columnar(self, ctx: ExecutionContext) -> Optional[ColumnarTable]:
+        child = self.child.as_columnar(ctx)
+        if child is None:
+            return None
+        keep = compile_conditions_mask(self.conditions, self.slots())
+        if keep is None:
+            return child
+        return child.filter(keep(child))
+
     def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        if ctx.columnar and self.can_columnar():
+            yield from self.as_columnar(ctx).iter_rows()
+            return
         keep = compile_conditions(self.conditions, self.slots())
         for row in self.child.rows(ctx):
             if keep is None or keep(row):

@@ -367,24 +367,34 @@ class QueryService:
             else self.default_timeout_seconds
         )
         started = time.perf_counter()
+        # ``_in_flight`` must reach zero *before* the future's result is
+        # visible — a caller that just collected every result may read
+        # ``service_stats()`` immediately, and the done callback (which
+        # releases the admission slot) only runs after ``set_result``.
         try:
-            outcome = self._run_resilient(request, budget, started)
-        except QueryTimeoutError:
+            try:
+                outcome = self._run_resilient(request, budget, started)
+            except QueryTimeoutError:
+                with self._metrics_lock:
+                    metrics.timed_out += 1
+                raise
+            except BaseException:
+                with self._metrics_lock:
+                    metrics.failed += 1
+                raise
+            elapsed = time.perf_counter() - started
             with self._metrics_lock:
-                metrics.timed_out += 1
-            raise
-        except BaseException:
-            with self._metrics_lock:
-                metrics.failed += 1
-            raise
-        elapsed = time.perf_counter() - started
-        with self._metrics_lock:
-            metrics.completed += 1
-            if getattr(outcome, "degraded_from", None) is not None:
-                metrics.degraded += 1
-            metrics.total_seconds += elapsed
-            metrics.max_seconds = max(metrics.max_seconds, elapsed)
-        return outcome
+                metrics.completed += 1
+                if getattr(outcome, "degraded_from", None) is not None:
+                    metrics.degraded += 1
+                metrics.total_seconds += elapsed
+                metrics.max_seconds = max(metrics.max_seconds, elapsed)
+            return outcome
+        finally:
+            with self._drained:
+                self._in_flight -= 1
+                if self._in_flight == 0:
+                    self._drained.notify_all()
 
     def _run_resilient(
         self, request: QueryRequest, budget: Optional[float], started: float
@@ -531,11 +541,16 @@ class QueryService:
                 breaker = self._breakers[engine] = self.breaker_policy.build(engine)
             return breaker
 
-    def _release_slot(self, _future: Future) -> None:
-        with self._drained:
-            self._in_flight -= 1
-            if self._in_flight == 0:
-                self._drained.notify_all()
+    def _release_slot(self, future: Future) -> None:
+        # The in-flight count is decremented at the end of ``_run`` (see
+        # there for why); this callback normally only returns the admission
+        # slot.  A future cancelled while still queued never reaches
+        # ``_run``, so its count is settled here instead.
+        if future.cancelled():
+            with self._drained:
+                self._in_flight -= 1
+                if self._in_flight == 0:
+                    self._drained.notify_all()
         self._slots.release()
 
     def _engine_metrics(self, configuration: str) -> EngineMetrics:

@@ -70,6 +70,11 @@ from repro.xmldb.encoding import DOC_COLUMNS, DocumentEncoding
 #: VM instructions between progress-handler ticks while a timeout is armed.
 _PROGRESS_INTERVAL = 4000
 
+#: Rows per ``fetchmany`` batch while draining a cursor.  Large enough that
+#: the per-batch transpose amortises, small enough that the progress handler
+#: (and thus the timeout) keeps firing between batches.
+_FETCH_BATCH = 4096
+
 #: Statements that only read.  Anything else routes to the primary
 #: connection under the write lock (PRAGMA included: many pragmas write).
 _READ_STATEMENTS = ("SELECT", "EXPLAIN", "VALUES")
@@ -156,6 +161,10 @@ class SQLResult:
     rows: list[tuple]
     elapsed_seconds: float
     bindings: dict[str, object] = field(default_factory=dict)
+    #: Column-major view of ``rows`` (one list per column), built while the
+    #: cursor drains so the decode step never re-transposes the result.
+    #: ``None`` only for hand-built results that skipped the backend.
+    column_data: Optional[list[list]] = None
 
     @property
     def row_count(self) -> int:
@@ -580,7 +589,22 @@ class SQLiteBackend:
         try:
             _fire_fault("backend.execute")
             cursor = connection.execute(sql, values)
-            rows = cursor.fetchall()
+            # Drain in fixed-size batches, transposing each batch as it
+            # arrives: the decode step consumes whole columns, and per-batch
+            # ``zip(*batch)`` builds them without a second full-result pass.
+            rows: list[tuple] = []
+            column_data: Optional[list[list]] = None
+            while True:
+                batch = cursor.fetchmany(_FETCH_BATCH)
+                if not batch:
+                    break
+                rows.extend(batch)
+                transposed = zip(*batch)
+                if column_data is None:
+                    column_data = [list(column) for column in transposed]
+                else:
+                    for accumulated, column in zip(column_data, transposed):
+                        accumulated.extend(column)
         except sqlite3.ProgrammingError as error:
             if self.pool.closed:
                 raise BackendClosedError(
@@ -607,12 +631,15 @@ class SQLiteBackend:
                 except sqlite3.ProgrammingError:
                     pass  # closed concurrently; nothing left to disarm
         columns = tuple(item[0] for item in cursor.description or ())
+        if column_data is None:
+            column_data = [[] for _ in columns]
         return SQLResult(
             sql=sql,
             columns=columns,
             rows=rows,
             elapsed_seconds=time.perf_counter() - started,
             bindings=values,
+            column_data=column_data,
         )
 
     def query_plan(

@@ -21,7 +21,7 @@ so the SQL backend and the interpreters cannot drift apart.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 
 def _sortable(value: object) -> tuple:
@@ -33,10 +33,40 @@ def _sortable(value: object) -> tuple:
     return (2, str(value))
 
 
+def _sort_keys(values: list) -> list:
+    """Per-value sort keys for one column, with the type dispatch hoisted.
+
+    When every value in the column is a plain number — the common case:
+    ``pos`` counters and ``pre``-rank items are always ints — the values
+    themselves already carry :func:`_sortable`'s order, so no per-value
+    tuple is built at all.  One mixed/NULL/string value falls the whole
+    column back to explicit ``(rank, value)`` tuples; keys from different
+    columns never meet in a comparison, so the two representations may
+    coexist across columns.
+    """
+    for value in values:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return [_sortable(value) for value in values]
+    return values
+
+
+def _column_values(
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    column_data: Optional[Sequence[Sequence[object]]],
+    name: str,
+) -> list:
+    index = list(columns).index(name)
+    if column_data is not None:
+        return list(column_data[index])
+    return [row[index] for row in rows]
+
+
 def sequence_items(
     columns: Sequence[str],
     rows: Sequence[Sequence[object]],
     distinct: bool = True,
+    column_data: Optional[Sequence[Sequence[object]]] = None,
 ) -> list:
     """Decode a raw result table into the pre-rank item sequence.
 
@@ -48,20 +78,26 @@ def sequence_items(
     result (an aggregate or literal in the FLWOR return clause) carries one
     value per iteration, and two iterations may legitimately produce the
     same value — dedup is only the node-sequence discipline.
+
+    The decode is column-wise: ``column_data`` (one sequence per column,
+    e.g. ``SQLResult.column_data``) is consumed directly when supplied,
+    otherwise the needed columns are extracted from ``rows`` in one pass.
+    Ordering happens on precomputed key columns (:func:`_sort_keys`) zipped
+    with the row position — no per-comparison key function, and the trailing
+    position breaks every tie before Python ever compares two item values.
     """
-    item_index = list(columns).index("item")
-    pos_index = list(columns).index("pos") if "pos" in columns else None
-    if pos_index is not None:
-        rows = sorted(
-            rows,
-            key=lambda row: (_sortable(row[pos_index]), _sortable(row[item_index])),
+    item_values = _column_values(columns, rows, column_data, "item")
+    if "pos" in columns:
+        pos_values = _column_values(columns, rows, column_data, "pos")
+        order = sorted(
+            zip(_sort_keys(pos_values), _sort_keys(item_values), range(len(item_values)))
         )
+        item_values = [item_values[entry[2]] for entry in order]
     if not distinct:
-        return [row[item_index] for row in rows if row[item_index] is not None]
+        return [value for value in item_values if value is not None]
     seen: set[object] = set()
     items: list = []
-    for row in rows:
-        value = row[item_index]
+    for value in item_values:
         if value in seen:
             continue
         seen.add(value)
@@ -73,6 +109,7 @@ def ordered_items(
     columns: Sequence[str],
     rows: Sequence[Sequence[object]],
     distinct: bool = True,
+    column_data: Optional[Sequence[Sequence[object]]] = None,
 ) -> list:
     """Project the ``item`` column of an already ordered/distinct result.
 
@@ -86,9 +123,8 @@ def ordered_items(
     NULL; aggregate tails use NULL for "this iteration contributes no item"
     (``fn:avg`` over an empty sequence).
     """
-    item_index = list(columns).index("item")
     return first_occurrence_items(
-        (row[item_index] for row in rows), distinct=distinct
+        _column_values(columns, rows, column_data, "item"), distinct=distinct
     )
 
 

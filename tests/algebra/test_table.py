@@ -78,3 +78,14 @@ def test_sort_by_is_stable_permutation(rows):
     assert sorted(ordered.rows) == sorted(table.rows)
     values = [row[0] for row in ordered.rows]
     assert values == sorted(values)
+
+
+def test_unchecked_asserts_first_row_arity():
+    """``Table.unchecked`` skips per-row validation but still catches a
+    schema-width mismatch on the first row under ``__debug__``."""
+    assert Table.unchecked(("a", "b"), [(1, 2)]).rows == [(1, 2)]
+    assert Table.unchecked(("a", "b"), []).rows == []
+    with pytest.raises(AssertionError):
+        Table.unchecked(("a", "b"), [(1,)])
+    with pytest.raises(AlgebraError):
+        Table.unchecked(("a", "a"), [(1, 2)])
