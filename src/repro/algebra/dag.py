@@ -8,6 +8,7 @@ reachability relation ``⇛`` the rewrite rules of Fig. 5 consult.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Iterator, Mapping, Optional, Type
 
 from repro.algebra.operators import Operator
@@ -75,16 +76,51 @@ def reaches(source: Operator, target: Operator) -> bool:
     return any(target is node for node in iter_nodes(source))
 
 
-def substitute(root: Operator, replacements: Mapping[int, Operator]) -> Operator:
+@dataclass
+class Pushout:
+    """The result of gluing replacement subplans into a plan DAG.
+
+    Named after the double-pushout reading of a rewrite step (cf. chyp /
+    ReGraph): the *preserved part* is everything the substitution map does
+    not mention, and it embeds into both the old plan and the new one.
+    ``root`` is the rebuilt plan; ``glued`` maps ``id(old node)`` to the
+    object that took its place at the top-level gluing context — the
+    replacement identities a provenance trace records, and the seed of the
+    rewrite driver's dirty-node worklist.
+
+    ``rebuilt`` maps ``id(old node) -> new node`` for every *mechanical*
+    rebuild: an ancestor of a replacement that was re-created by
+    ``with_children`` with all of its own fields intact.  Unlike ``glued``
+    entries (whose shape the replacement dictates), a rebuilt node is
+    field-for-field the old operator over new inputs — the equivalence the
+    rewrite driver's cross-step memos use to migrate property entries
+    across a step instead of discarding the whole ancestor cone.  A node
+    rebuilt into *different* objects under different gluing contexts is
+    omitted (no single counterpart exists).
+    """
+
+    root: Operator
+    glued: dict[int, Operator] = field(default_factory=dict)
+    rebuilt: dict[int, Operator] = field(default_factory=dict)
+
+
+def pushout(
+    root: Operator,
+    replacements: Mapping[int, Operator],
+    parents: Optional[Mapping[int, list[Operator]]] = None,
+    order: Optional[list[Operator]] = None,
+) -> Pushout:
     """Rebuild the DAG with ``replacements`` (keyed by ``id`` of the old node).
 
-    Sharing is preserved: every untouched node is reused as-is, and every
-    reference to a replaced node sees the same replacement object —
+    Sharing is preserved *by construction*: the preserved part — every node
+    the map does not mention — is reused as-is (object identity), and every
+    reference to a replaced node resolves to one single replacement object,
     *including* references buried inside other replacement subtrees.  A
     replacement may legitimately contain the very node it replaces (rules
-    such as (8) wrap the matched operator); that self-reference is kept
-    verbatim instead of being replaced again, which is what the ``banned``
-    set tracks.
+    such as (8) wrap the matched operator); that occurrence belongs to the
+    preserved part — the ``p → lhs`` / ``p → rhs`` inclusions of a pushout
+    complement — and is kept verbatim instead of being replaced again, which
+    is what the ``banned`` set tracks.
 
     Rewriting inside replacements matters for multi-node substitution maps
     (the key-join collapse returns one): a replacement that still references
@@ -92,7 +128,20 @@ def substitute(root: Operator, replacements: Mapping[int, Operator]) -> Operator
     the plan ends up with two divergent copies of a shared operator — which
     silently breaks every rewrite premise that relies on shared anchors
     (``left_origin[0] is right_origin[0]``).
+
+    ``parents`` is an optional ``id(node) -> [parent, ...]`` index of the
+    plan.  A caller that maintains one (the worklist rewrite driver builds
+    it once per step anyway) enables the single-replacement fast path: the
+    rebuild cone — the ancestors of the one replaced node — is found by
+    walking the index upward, so the substitution costs O(cone) instead of
+    a full-plan reachability pass.  ``order`` (the plan's topological
+    order, children first) additionally turns the cone rebuild into a flat
+    bottom-up loop.  The resulting graph is identical to the generic
+    path's.
     """
+    if parents is not None and len(replacements) == 1:
+        ((target_id, replacement),) = tuple(replacements.items())
+        return _pushout_single(root, target_id, replacement, parents, order)
     #: ``reach(node)`` = the replacement keys reachable from ``node``.  Memo
     #: keys below pair a node id with the *relevant* slice of the banned set
     #: (``banned & reach``), so a node rebuilt in unrelated contexts still
@@ -112,6 +161,9 @@ def substitute(root: Operator, replacements: Mapping[int, Operator]) -> Operator
         return acc
 
     memo: dict[tuple[int, frozenset[int]], Operator] = {}
+    glued: dict[int, Operator] = {}
+    rebuilt: dict[int, Operator] = {}
+    ambiguous: set[int] = set()
 
     def rebuild(node: Operator, banned: frozenset[int]) -> Operator:
         effective = banned & reach(node)
@@ -120,16 +172,96 @@ def substitute(root: Operator, replacements: Mapping[int, Operator]) -> Operator
             return memo[key]
         if id(node) in replacements and id(node) not in banned:
             result = rebuild(replacements[id(node)], banned | frozenset((id(node),)))
+            # Record the top-level gluing only (first context reaching the
+            # node): deeper banned contexts rebuild preserved occurrences.
+            glued.setdefault(id(node), result)
         else:
             new_children = [rebuild(child, effective) for child in node.children]
             if all(new is old for new, old in zip(new_children, node.children)):
                 result = node
             else:
                 result = node.with_children(new_children)
+                previous = rebuilt.setdefault(id(node), result)
+                if previous is not result:
+                    # Rebuilt differently under two gluing contexts: there
+                    # is no single counterpart to migrate memo entries to.
+                    ambiguous.add(id(node))
         memo[key] = result
         return result
 
-    return rebuild(root, frozenset())
+    new_root = rebuild(root, frozenset())
+    for node_id in ambiguous:
+        del rebuilt[node_id]
+    return Pushout(root=new_root, glued=glued, rebuilt=rebuilt)
+
+
+def _pushout_single(
+    root: Operator,
+    target_id: int,
+    replacement: Operator,
+    parents: Mapping[int, list[Operator]],
+    order: Optional[list[Operator]] = None,
+) -> Pushout:
+    """The parents-indexed fast path of :func:`pushout` (one replacement).
+
+    Only the ancestors of the target can change; everything else — the
+    target's own subtree, the replacement's internals (where a preserved
+    occurrence of the target legitimately lives, cf. the banned set of the
+    generic path), and all unrelated nodes — is spliced in by identity.
+    """
+    cone: set[int] = set()
+    stack: list[int] = [target_id]
+    while stack:
+        for parent in parents.get(stack.pop(), ()):
+            parent_id = id(parent)
+            if parent_id not in cone:
+                cone.add(parent_id)
+                stack.append(parent_id)
+    mapped: dict[int, Operator] = {target_id: replacement}
+    rebuilt: dict[int, Operator] = {}
+
+    if order is not None:
+        # Flat bottom-up rebuild: ``order`` lists children before parents,
+        # so every cone node's children are already mapped when reached.
+        for node in order:
+            if id(node) not in cone:
+                continue
+            new_children = [mapped.get(id(child), child) for child in node.children]
+            if all(new is old for new, old in zip(new_children, node.children)):
+                result = node
+            else:
+                result = node.with_children(new_children)
+                rebuilt[id(node)] = result
+            mapped[id(node)] = result
+        return Pushout(
+            root=mapped.get(id(root), root),
+            glued={target_id: replacement},
+            rebuilt=rebuilt,
+        )
+
+    def rebuild_cone(node: Operator) -> Operator:
+        known = mapped.get(id(node))
+        if known is not None:
+            return known
+        if id(node) not in cone:
+            return node
+        new_children = [rebuild_cone(child) for child in node.children]
+        if all(new is old for new, old in zip(new_children, node.children)):
+            result = node
+        else:
+            result = node.with_children(new_children)
+            rebuilt[id(node)] = result
+        mapped[id(node)] = result
+        return result
+
+    return Pushout(
+        root=rebuild_cone(root), glued={target_id: replacement}, rebuilt=rebuilt
+    )
+
+
+def substitute(root: Operator, replacements: Mapping[int, Operator]) -> Operator:
+    """Rebuild the DAG with ``replacements`` — see :func:`pushout`."""
+    return pushout(root, replacements).root
 
 
 def replace_node(root: Operator, old: Operator, new: Operator) -> Operator:

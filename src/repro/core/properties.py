@@ -27,7 +27,6 @@ for this to be cheap).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.algebra.dag import iter_nodes, topological_order
@@ -52,40 +51,75 @@ from repro.algebra.operators import (
 SERIALIZE_ICOLS = frozenset({"pos", "item"})
 
 
-@dataclass
-class NodeProperties:
-    """The four inferred properties of one operator."""
+#: Cross-step memo for the bottom-up properties: ``id(node) -> (node, child
+#: states, const, keys)`` with one ``(columns, const, keys)`` triple per
+#: child.  ``const`` / ``keys`` are a pure function of the node's own fields
+#: and its children's ``(columns, const, keys)``, so an entry is valid when
+#: the pinned node is identical (same fields) and every child's current
+#: values match the stored triple.  Entries therefore survive the pushout's
+#: mechanical ancestor rebuilds: the rewrite driver re-keys them along
+#: :attr:`~repro.algebra.dag.Pushout.rebuilt` (a ``with_children`` rebuild
+#: preserves all fields), and the child-state check picks up whether the
+#: rewrite below actually changed anything the node's properties depend on.
+#: Recomputed-but-equal values re-use the previous value *object*, which is
+#: what lets parents validate by identity instead of deep comparison.
+BottomUpMemo = dict
 
-    icols: frozenset[str] = frozenset()
-    const: dict[str, object] = field(default_factory=dict)
-    keys: frozenset[frozenset[str]] = frozenset()
-    set: bool = True
+#: Cross-step memo for the top-down state: ``id(node) -> (node, parent
+#: tuple, parent state tuple, icols, set, refs, columns)``.  ``icols`` /
+#: ``set`` / ``refs`` (the structural upstream references of
+#: :meth:`~repro.core.rewrite.context.RuleContext.upstream_refs`) of a node
+#: are each a pure function of its own column schema plus its parents'
+#: fields and top-down state, so an entry is valid when every stored parent
+#: is the identical object — or its mechanical rebuild, looked up through
+#: the step's ``rebuilt`` map — holding the identical state objects, and the
+#: node's schema is unchanged.  Re-inference recomputes only the cone
+#: actually affected by a rewrite: a recomputed-but-equal value re-uses the
+#: previous value *object*, which lets the identity check cut the cascade
+#: off at the first node whose properties did not really change.
+TopDownMemo = dict
+
+#: The one empty-refs object: seeds and recomputations share it so the
+#: identity checks above hold across steps without a value comparison.
+_NO_REFS: frozenset[str] = frozenset()
 
 
 class PlanProperties:
     """A property snapshot for every operator of one plan DAG."""
 
-    def __init__(self, root: Operator):
+    def __init__(
+        self,
+        root: Operator,
+        bottom_up_memo: Optional[BottomUpMemo] = None,
+        top_down_memo: Optional[TopDownMemo] = None,
+        order: Optional[list[Operator]] = None,
+        parents: Optional[dict[int, list[Operator]]] = None,
+        rebuilt: Optional[dict[int, Operator]] = None,
+    ):
         self.root = root
-        self._by_node: dict[int, NodeProperties] = {}
-        self._infer()
+        self._icols: dict[int, frozenset[str]] = {}
+        self._const: dict[int, dict[str, object]] = {}
+        self._keys: dict[int, frozenset[frozenset[str]]] = {}
+        self._set: dict[int, bool] = {}
+        #: ``upstream_refs`` per node — populated only by the memoized
+        #: top-down pass; ``None`` means the rule context computes refs
+        #: lazily itself (the legacy driver's mode).
+        self._refs: Optional[dict[int, frozenset[str]]] = None
+        self._infer(bottom_up_memo, top_down_memo, order, parents, rebuilt)
 
     # -- public accessors --------------------------------------------------------
 
-    def of(self, node: Operator) -> NodeProperties:
-        return self._by_node[id(node)]
-
     def icols(self, node: Operator) -> frozenset[str]:
-        return self._by_node[id(node)].icols
+        return self._icols[id(node)]
 
     def const(self, node: Operator) -> dict[str, object]:
-        return self._by_node[id(node)].const
+        return self._const[id(node)]
 
     def keys(self, node: Operator) -> frozenset[frozenset[str]]:
-        return self._by_node[id(node)].keys
+        return self._keys[id(node)]
 
     def is_set(self, node: Operator) -> bool:
-        return self._by_node[id(node)].set
+        return self._set[id(node)]
 
     def has_key_within(self, node: Operator, columns: frozenset[str]) -> bool:
         """True when some candidate key of ``node`` is contained in ``columns``."""
@@ -93,43 +127,224 @@ class PlanProperties:
 
     # -- inference ----------------------------------------------------------------
 
-    def _infer(self) -> None:
-        order = topological_order(self.root)
-        for node in order:
-            self._by_node[id(node)] = NodeProperties()
+    def _infer(
+        self,
+        bottom_up_memo: Optional[BottomUpMemo],
+        top_down_memo: Optional[TopDownMemo],
+        order: Optional[list[Operator]],
+        parents: Optional[dict[int, list[Operator]]],
+        rebuilt: Optional[dict[int, Operator]],
+    ) -> None:
+        if order is None:
+            order = topological_order(self.root)
+        const_by, keys_by = self._const, self._keys
         # Bottom-up: const and key.
         for node in order:
-            properties = self._by_node[id(node)]
-            properties.const = _infer_const(node, self._by_node)
-            properties.keys = _infer_keys(node, self._by_node)
+            node_id = id(node)
+            entry = bottom_up_memo.get(node_id) if bottom_up_memo is not None else None
+            if entry is not None and entry[0] is node:
+                for child, (columns, child_const, child_keys) in zip(
+                    node.children, entry[1]
+                ):
+                    if (
+                        const_by[id(child)] is not child_const
+                        or keys_by[id(child)] is not child_keys
+                        or (columns is not child.columns and columns != child.columns)
+                    ):
+                        break
+                else:
+                    const_by[node_id] = entry[2]
+                    keys_by[node_id] = entry[3]
+                    continue
+            const = _infer_const(node, const_by)
+            keys = _infer_keys(node, keys_by)
+            # Recomputed-but-equal: keep the previous value *objects* so
+            # parents (and their memo entries) can validate by identity.
+            if entry is not None and entry[0] is node:
+                if const == entry[2]:
+                    const = entry[2]
+                if keys == entry[3]:
+                    keys = entry[3]
+            const_by[node_id] = const
+            keys_by[node_id] = keys
+            if bottom_up_memo is not None:
+                bottom_up_memo[node_id] = (
+                    node,
+                    tuple(
+                        (child.columns, const_by[id(child)], keys_by[id(child)])
+                        for child in node.children
+                    ),
+                    const,
+                    keys,
+                )
         # Top-down: icols and set.  Parents appear after children in the
         # topological order, so walk it in reverse.
-        root_properties = self._by_node[id(self.root)]
-        root_properties.set = False
-        if isinstance(self.root, Serialize):
-            root_properties.icols = SERIALIZE_ICOLS & frozenset(self.root.columns)
-            if not root_properties.icols:
-                root_properties.icols = frozenset(self.root.columns)
+        root = self.root
+        self._set[id(root)] = False
+        if isinstance(root, Serialize):
+            root_icols = SERIALIZE_ICOLS & frozenset(root.columns)
+            if not root_icols:
+                root_icols = frozenset(root.columns)
         else:
-            root_properties.icols = frozenset(self.root.columns)
+            root_icols = frozenset(root.columns)
+        if top_down_memo is not None and parents is not None:
+            # Seed the root through its memo entry so the seeds are the
+            # *same objects* step after step (the children's identity
+            # checks rely on that).
+            entry = top_down_memo.get(id(root))
+            if entry is not None and entry[0] is root and root_icols == entry[3]:
+                root_icols = entry[3]
+            top_down_memo[id(root)] = (
+                root, (), (), root_icols, False, _NO_REFS, root.columns
+            )
+            self._icols[id(root)] = root_icols
+            self._refs = {id(root): _NO_REFS}
+            self._pull_down_memoized(order, parents, top_down_memo, rebuilt)
+        else:
+            self._icols[id(root)] = root_icols
+            icols_by, set_by = self._icols, self._set
+            for node in order:
+                if id(node) not in icols_by:
+                    icols_by[id(node)] = frozenset()
+                    set_by[id(node)] = True
+            for node in reversed(order):
+                self._propagate_down(node)
+
+    def _pull_down_memoized(
+        self,
+        order: list[Operator],
+        parents: dict[int, list[Operator]],
+        memo: TopDownMemo,
+        rebuilt: Optional[dict[int, Operator]],
+    ) -> None:
+        """The pull-based, memoized equivalent of the ``_propagate_down`` pass.
+
+        Computes exactly the same unions (``icols``, ``refs``) and
+        conjunctions (``set``) as the push-based pass and the rule
+        context's lazy ``upstream_refs`` recursion, but per *node* instead
+        of per parent edge, which makes each node's result a pure function
+        of its parents — the shape the :data:`TopDownMemo` validation
+        needs.  ``rebuilt`` (the step's mechanical-rebuild map) lets an
+        entry stay valid when a stored parent was merely re-created by
+        ``with_children`` around an unrelated change: the rebuild has the
+        same fields, so its contribution is the same whenever its state is.
+        """
+        icols_by, set_by, refs_by = self._icols, self._set, self._refs
+        root = self.root
+        rebuilt_get = rebuilt.get if rebuilt is not None else {}.get
+        memo_get = memo.get
         for node in reversed(order):
-            self._propagate_down(node)
+            if node is root:
+                continue
+            node_id = id(node)
+            plist = parents[node_id]
+            entry = memo_get(node_id)
+            if (
+                entry is not None
+                and entry[0] is node
+                and len(entry[1]) == len(plist)
+                and (entry[6] is node.columns or entry[6] == node.columns)
+            ):
+                valid = True
+                stale_parents = False
+                for stored, current, state in zip(entry[1], plist, entry[2]):
+                    if stored is not current:
+                        if rebuilt_get(id(stored)) is not current:
+                            valid = False
+                            break
+                        stale_parents = True
+                    current_id = id(current)
+                    if (
+                        icols_by[current_id] is not state[0]
+                        or set_by[current_id] != state[1]
+                        or refs_by[current_id] is not state[2]
+                    ):
+                        valid = False
+                        break
+                if valid:
+                    icols_by[node_id] = entry[3]
+                    set_by[node_id] = entry[4]
+                    refs_by[node_id] = entry[5]
+                    if stale_parents:
+                        # Refresh the parent tuple: the rebuilt map only
+                        # covers the *current* step's rebuilds.
+                        memo[node_id] = (node, tuple(plist)) + entry[2:]
+                    continue
+            icols: frozenset[str] = frozenset()
+            is_set = True
+            refs: set[str] = set()
+            for parent in plist:
+                parent_id = id(parent)
+                parent_icols = icols_by[parent_id]
+                parent_set = set_by[parent_id]
+                for position, child in enumerate(parent.children):
+                    if child is node:
+                        icols = icols | _child_icols(
+                            parent, position, node, parent_icols
+                        )
+                        is_set = is_set and _child_set(parent, position, parent_set)
+                refs |= _parent_refs(parent, node, refs_by[parent_id])
+            frozen_refs = frozenset(refs) if refs else _NO_REFS
+            # Recomputed-but-equal: keep the previous value *object* so the
+            # identity checks of this node's children (and their memo
+            # entries) stay valid — this is what stops one rewrite near the
+            # root from invalidating the entire plan's top-down state.
+            if entry is not None and entry[0] is node:
+                if icols == entry[3]:
+                    icols = entry[3]
+                if frozen_refs == entry[5]:
+                    frozen_refs = entry[5]
+            icols_by[node_id] = icols
+            set_by[node_id] = is_set
+            refs_by[node_id] = frozen_refs
+            memo[node_id] = (
+                node,
+                tuple(plist),
+                tuple(
+                    (icols_by[id(p)], set_by[id(p)], refs_by[id(p)]) for p in plist
+                ),
+                icols,
+                is_set,
+                frozen_refs,
+                node.columns,
+            )
 
     def _propagate_down(self, node: Operator) -> None:
-        properties = self._by_node[id(node)]
+        icols_by, set_by = self._icols, self._set
+        node_icols = icols_by[id(node)]
+        node_set = set_by[id(node)]
         for position, child in enumerate(node.children):
-            child_properties = self._by_node[id(child)]
-            child_properties.icols = child_properties.icols | _child_icols(
-                node, position, child, properties.icols
+            child_id = id(child)
+            icols_by[child_id] = icols_by[child_id] | _child_icols(
+                node, position, child, node_icols
             )
-            child_properties.set = child_properties.set and _child_set(
-                node, position, properties.set
+            set_by[child_id] = set_by[child_id] and _child_set(
+                node, position, node_set
             )
 
 
-def infer_properties(root: Operator) -> PlanProperties:
-    """Infer all four plan properties for the DAG rooted at ``root``."""
-    return PlanProperties(root)
+def infer_properties(
+    root: Operator,
+    bottom_up_memo: Optional[BottomUpMemo] = None,
+    top_down_memo: Optional[TopDownMemo] = None,
+    order: Optional[list[Operator]] = None,
+    parents: Optional[dict[int, list[Operator]]] = None,
+    rebuilt: Optional[dict[int, Operator]] = None,
+) -> PlanProperties:
+    """Infer all four plan properties for the DAG rooted at ``root``.
+
+    ``bottom_up_memo`` optionally reuses ``const`` / ``key`` results for
+    subtrees preserved across rewrite steps (see :data:`BottomUpMemo`);
+    ``top_down_memo`` (which additionally needs the ``parents`` map) does
+    the same for ``icols`` / ``set`` (see :data:`TopDownMemo`).  ``order``
+    lets a caller that already traversed the plan share its topological
+    order instead of paying a second traversal, and ``rebuilt`` is the
+    step's mechanical-rebuild map (:attr:`~repro.algebra.dag.Pushout.rebuilt`)
+    that keeps memo entries valid across ``with_children`` rebuilds.
+    """
+    return PlanProperties(
+        root, bottom_up_memo, top_down_memo, order, parents, rebuilt
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -137,7 +352,9 @@ def infer_properties(root: Operator) -> PlanProperties:
 # ---------------------------------------------------------------------------
 
 
-def _infer_const(node: Operator, by_node: dict[int, "NodeProperties"]) -> dict[str, object]:
+def _infer_const(
+    node: Operator, const_by: dict[int, dict[str, object]]
+) -> dict[str, object]:
     if isinstance(node, DocTable):
         return {}
     if isinstance(node, LiteralTable):
@@ -148,21 +365,21 @@ def _infer_const(node: Operator, by_node: dict[int, "NodeProperties"]) -> dict[s
                 constants[column] = next(iter(values))
         return constants
     if isinstance(node, (Serialize, Select, Distinct, RowId, RowRank)):
-        return dict(by_node[id(node.children[0])].const)
+        return dict(const_by[id(node.children[0])])
     if isinstance(node, Project):
-        child_const = by_node[id(node.child)].const
+        child_const = const_by[id(node.child)]
         return {new: child_const[old] for new, old in node.items if old in child_const}
     if isinstance(node, Attach):
-        constants = dict(by_node[id(node.child)].const)
+        constants = dict(const_by[id(node.child)])
         constants[node.column] = node.value
         return constants
     if isinstance(node, (Join, Cross)):
-        combined = dict(by_node[id(node.children[0])].const)
-        combined.update(by_node[id(node.children[1])].const)
+        combined = dict(const_by[id(node.children[0])])
+        combined.update(const_by[id(node.children[1])])
         return combined
     if isinstance(node, GroupAggregate):
         # Loop columns pass through untouched; the aggregate value does not.
-        return dict(by_node[id(node.loop)].const)
+        return dict(const_by[id(node.loop)])
     return {}
 
 
@@ -171,32 +388,34 @@ def _infer_const(node: Operator, by_node: dict[int, "NodeProperties"]) -> dict[s
 # ---------------------------------------------------------------------------
 
 
-def _infer_keys(node: Operator, by_node: dict[int, "NodeProperties"]) -> frozenset[frozenset[str]]:
+def _infer_keys(
+    node: Operator, keys_by: dict[int, frozenset[frozenset[str]]]
+) -> frozenset[frozenset[str]]:
     if isinstance(node, DocTable):
         return frozenset({frozenset({"pre"})})
     if isinstance(node, LiteralTable):
         return _literal_table_keys(node)
     if isinstance(node, (Serialize, Select)):
-        return by_node[id(node.children[0])].keys
+        return keys_by[id(node.children[0])]
     if isinstance(node, Project):
-        return _project_keys(node, by_node[id(node.child)].keys)
+        return _project_keys(node, keys_by[id(node.child)])
     if isinstance(node, Distinct):
-        return by_node[id(node.child)].keys | frozenset({frozenset(node.child.columns)})
+        return keys_by[id(node.child)] | frozenset({frozenset(node.child.columns)})
     if isinstance(node, Attach):
-        return by_node[id(node.child)].keys
+        return keys_by[id(node.child)]
     if isinstance(node, RowId):
-        return by_node[id(node.child)].keys | frozenset({frozenset({node.column})})
+        return keys_by[id(node.child)] | frozenset({frozenset({node.column})})
     if isinstance(node, RowRank):
-        return _rank_keys(node, by_node[id(node.child)].keys)
+        return _rank_keys(node, keys_by[id(node.child)])
     if isinstance(node, Join):
-        return _join_keys(node, by_node)
+        return _join_keys(node, keys_by)
     if isinstance(node, Cross):
-        left = by_node[id(node.children[0])].keys
-        right = by_node[id(node.children[1])].keys
+        left = keys_by[id(node.children[0])]
+        right = keys_by[id(node.children[1])]
         return frozenset({k1 | k2 for k1 in left for k2 in right})
     if isinstance(node, GroupAggregate):
         # At most one output row per loop row, loop column names unchanged.
-        return by_node[id(node.loop)].keys
+        return keys_by[id(node.loop)]
     return frozenset()
 
 
@@ -234,10 +453,12 @@ def _rank_keys(node: RowRank, child_keys: frozenset[frozenset[str]]) -> frozense
     return frozenset(keys)
 
 
-def _join_keys(node: Join, by_node: dict[int, "NodeProperties"]) -> frozenset[frozenset[str]]:
+def _join_keys(
+    node: Join, keys_by: dict[int, frozenset[frozenset[str]]]
+) -> frozenset[frozenset[str]]:
     left, right = node.children
-    left_keys = by_node[id(left)].keys
-    right_keys = by_node[id(right)].keys
+    left_keys = keys_by[id(left)]
+    right_keys = keys_by[id(right)]
     keys: set[frozenset[str]] = set()
     predicate = node.predicate
     if predicate.is_single_column_equality():
@@ -257,6 +478,47 @@ def _join_keys(node: Join, by_node: dict[int, "NodeProperties"]) -> frozenset[fr
             keys = {k1 | k2 for k1 in left_keys for k2 in right_keys}
         return frozenset(keys)
     return frozenset({k1 | k2 for k1 in left_keys for k2 in right_keys})
+
+
+# ---------------------------------------------------------------------------
+# upstream refs: structural references of one parent into one child
+# ---------------------------------------------------------------------------
+
+
+def _parent_refs(
+    parent: Operator, child: Operator, parent_refs: frozenset[str]
+) -> set[str]:
+    """Columns of ``child`` that ``parent`` structurally references.
+
+    ``parent_refs`` is the parent's own (already computed) upstream refs —
+    pass-through operators forward them.  This is the per-edge contribution
+    behind :meth:`~repro.core.rewrite.context.RuleContext.upstream_refs`:
+    the rule context's lazy recursion and the eager memoized pass above
+    both sum exactly these sets.
+    """
+    child_columns = set(child.columns)
+    refs: set[str] = set()
+    if isinstance(parent, Project):
+        refs |= {old for _new, old in parent.items} & child_columns
+        return refs
+    if isinstance(parent, Select):
+        refs |= set(parent.predicate.columns()) & child_columns
+    elif isinstance(parent, Join):
+        refs |= set(parent.predicate.columns()) & child_columns
+    elif isinstance(parent, RowRank):
+        refs |= (set(parent.order_by) | set(parent.partition_by)) & child_columns
+    elif isinstance(parent, GroupAggregate):
+        structural = {parent.group_column, parent.unit_column}
+        if parent.value_column is not None:
+            structural.add(parent.value_column)
+        refs |= structural & child_columns
+    # Pass-through parents forward their own upstream references.
+    if isinstance(
+        parent,
+        (Select, Join, Cross, Distinct, Attach, RowId, RowRank, GroupAggregate, Serialize),
+    ):
+        refs |= parent_refs & child_columns
+    return refs
 
 
 # ---------------------------------------------------------------------------

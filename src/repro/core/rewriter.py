@@ -13,9 +13,16 @@ The rewriting proceeds through the paper's goals:
 4. **final cleaning** — a last house-cleaning pass removes operators whose
    attached columns became unreferenced during the join collapses.
 
-After every rule application the plan properties (Tables II-V) are
-re-inferred; the applicability of each rule is decided locally on a single
-operator and its inferred properties, exactly as the paper's peephole
+The rules themselves are declarative :class:`~repro.core.rewrite.rule.Rule`
+objects (:mod:`repro.core.rewrite.rules`); this module assembles them into
+the goal sequence and hands the sequence to one of the two drivers of
+:mod:`repro.core.rewrite.engine` — the production pattern-indexed
+**worklist** driver, or the restart-from-root **legacy** driver kept as the
+benchmark baseline.  Both produce identical plans, applications, and
+rejection records; they differ only in per-step cost.
+
+The applicability of each rule is decided locally on a single operator and
+its inferred properties (Tables II-V), exactly as the paper's peephole
 strategy prescribes.  Progress is guaranteed because every rule either
 removes an operator, strictly shrinks one, or replaces a join by a narrower
 plan; a step limit guards against bugs nonetheless.
@@ -25,29 +32,34 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import AlgebraError, RewriteError
-from repro.algebra.dag import iter_nodes, node_count, substitute
-from repro.algebra.operators import Operator, Serialize
-from repro.core.properties import infer_properties
-from repro.core.rules import (
-    CLEANUP_RULES,
-    JOIN_RULES,
-    RANK_RULES,
-    Rule,
-    RuleApplication,
-    RuleContext,
+from repro.errors import RewriteError
+from repro.algebra.dag import node_count
+from repro.algebra.operators import Serialize
+from repro.core.rewrite.engine import Phase, run_phases
+from repro.core.rewrite.rule import Rule
+from repro.core.rewrite.rules import CLEANUP_GROUP, JOIN_GROUP, RANK_GROUP
+from repro.core.rewrite.trace import (
+    RejectedApplication,
+    RewriteStep,
+    RewriteTrace,
+    format_divergence,
 )
+
+#: Backwards-compatible alias (the step records used to be a separate class).
+RuleApplication = RewriteStep
 
 
 @dataclass
 class IsolationReport:
     """A record of one isolation run (used by tests and the ablation bench)."""
 
-    applications: list[RuleApplication] = field(default_factory=list)
+    applications: list[RewriteStep] = field(default_factory=list)
+    rejections: list[RejectedApplication] = field(default_factory=list)
     steps: int = 0
     initial_operator_count: int = 0
     final_operator_count: int = 0
     converged: bool = True
+    driver: str = "worklist"
 
     def rules_fired(self) -> dict[str, int]:
         """Histogram of rule names over all applied steps."""
@@ -56,6 +68,17 @@ class IsolationReport:
             histogram[application.rule] = histogram.get(application.rule, 0) + 1
         return histogram
 
+    def trace(self) -> RewriteTrace:
+        """The run as an immutable provenance trace (see ``rewrite_trace``)."""
+        return RewriteTrace(
+            steps=tuple(self.applications),
+            rejections=tuple(self.rejections),
+            initial_operator_count=self.initial_operator_count,
+            final_operator_count=self.final_operator_count,
+            converged=self.converged,
+            driver=self.driver,
+        )
+
 
 @dataclass
 class JoinGraphIsolation:
@@ -63,7 +86,9 @@ class JoinGraphIsolation:
 
     ``enable_rank_goal``, ``enable_distinct_goal`` and ``enable_join_goal``
     exist for the ablation experiment (switching off individual goals shows
-    how far DB2-style back-ends get without them).
+    how far DB2-style back-ends get without them).  ``driver`` selects the
+    rewrite engine: the production ``"worklist"`` driver or the
+    restart-from-root ``"legacy"`` baseline (identical results, slower).
     """
 
     max_steps: int = 5000
@@ -71,92 +96,50 @@ class JoinGraphIsolation:
     enable_rank_goal: bool = True
     enable_distinct_goal: bool = True
     enable_join_goal: bool = True
+    driver: str = "worklist"
 
     def isolate(self, root: Serialize) -> tuple[Serialize, IsolationReport]:
         """Rewrite ``root`` and return the isolated plan plus a report."""
-        report = IsolationReport(initial_operator_count=node_count(root))
-        plan: Operator = root
-        for phase_rules in self._phases():
-            plan = self._run_phase(plan, phase_rules, report)
-        report.final_operator_count = node_count(plan)
+        plan, engine = run_phases(
+            root, self._phases(), max_steps=self.max_steps, driver=self.driver
+        )
+        report = IsolationReport(
+            applications=engine.steps,
+            rejections=engine.rejections,
+            steps=engine.step_count,
+            initial_operator_count=node_count(root),
+            final_operator_count=node_count(plan),
+            converged=engine.converged,
+            driver=self.driver,
+        )
         if not isinstance(plan, Serialize):
             plan = Serialize(plan)
         return plan, report
 
     # -- phases -------------------------------------------------------------------
 
-    def _phases(self) -> list[tuple[tuple[str, Rule], ...]]:
-        cleanup = CLEANUP_RULES if self.enable_cleanup else ()
-        phases: list[tuple[tuple[str, Rule], ...]] = []
+    def _phases(self) -> list[Phase]:
+        cleanup: tuple[Rule, ...] = CLEANUP_GROUP if self.enable_cleanup else ()
+        phases: list[Phase] = []
         if self.enable_cleanup:
-            phases.append(cleanup)
+            phases.append(("cleanup", cleanup))
         if self.enable_rank_goal:
-            phases.append(cleanup + RANK_RULES)
+            phases.append(("rank", cleanup + RANK_GROUP))
         join_rules = tuple(
-            (name, rule)
-            for name, rule in JOIN_RULES
-            if self.enable_distinct_goal or "distinct" not in name
+            rule
+            for rule in JOIN_GROUP
+            if self.enable_distinct_goal or "distinct" not in rule.name
         )
         if self.enable_join_goal or self.enable_distinct_goal:
-            phases.append(cleanup + (RANK_RULES if self.enable_rank_goal else ()) + join_rules)
-        if self.enable_cleanup:
-            phases.append(cleanup)
-        return phases
-
-    def _run_phase(
-        self,
-        plan: Operator,
-        rules: tuple[tuple[str, Rule], ...],
-        report: IsolationReport,
-    ) -> Operator:
-        if not rules:
-            return plan
-        while True:
-            if report.steps >= self.max_steps:
-                report.converged = False
-                return plan
-            application = self._apply_first(plan, rules)
-            if application is None:
-                return plan
-            plan, record = application
-            report.applications.append(record)
-            report.steps += 1
-
-    def _apply_first(
-        self, plan: Operator, rules: tuple[tuple[str, Rule], ...]
-    ) -> tuple[Operator, RuleApplication] | None:
-        properties = infer_properties(plan)
-        ctx = RuleContext(plan, properties)
-        for node in iter_nodes(plan):
-            if isinstance(node, Serialize):
-                continue
-            for name, rule in rules:
-                result = rule(node, ctx)
-                if result is None or result is node:
-                    continue
-                if isinstance(result, dict):
-                    replacements = result
-                    replacement_label = replacements[id(node)].label()
-                else:
-                    replacements = {id(node): result}
-                    replacement_label = result.label()
-                try:
-                    new_plan = substitute(plan, replacements)
-                except AlgebraError:
-                    # The rewrite is locally sound but globally inapplicable:
-                    # rebuilding the DAG tripped an operator invariant (e.g.
-                    # a widened shared spine makes a far-away join's inputs
-                    # overlap).  The constructor checks are the exact global
-                    # premise — treat the application as not applicable and
-                    # keep scanning; the plan is unchanged.
-                    continue
-                record = RuleApplication(
-                    rule=name,
-                    target=node.label(),
-                    replacement=replacement_label,
+            phases.append(
+                (
+                    "join",
+                    cleanup + (RANK_GROUP if self.enable_rank_goal else ()) + join_rules,
                 )
-                return new_plan, record
-        return None
+            )
+        if self.enable_cleanup:
+            phases.append(("final", cleanup))
+        return phases
 
 
 def isolate(
@@ -166,7 +149,5 @@ def isolate(
     isolation = config or JoinGraphIsolation()
     plan, report = isolation.isolate(root)
     if not report.converged:
-        raise RewriteError(
-            f"join graph isolation did not converge within {isolation.max_steps} steps"
-        )
+        raise RewriteError(format_divergence(report.applications, isolation.max_steps))
     return plan, report

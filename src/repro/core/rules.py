@@ -1,828 +1,52 @@
-"""The join graph isolation rewrite rules (Fig. 5 of the paper).
+"""Backwards-compatible façade over :mod:`repro.core.rewrite`.
 
-Every rule is a function ``rule(node, ctx) -> Operator | None`` returning a
-replacement for ``node`` (or ``None`` when the rule does not apply).  The
-premises consult the inferred plan properties through the
-:class:`RuleContext`.
-
-The implemented set corresponds to the paper's rules with two adaptations
-required by this implementation's column-disjoint join operator (the paper's
-algebra allows both join inputs to expose the same column name, ours —
-matching SQL — does not):
-
-* Rule (9) is generalised into the *key-join collapse* rule
-  (:func:`rule_key_join_collapse`): a join ``A ⋈ a=b B`` whose two join
-  columns stem from the same column ``c`` of the same operator ``X`` with
-  ``{c}`` a key of ``X``, and whose one side is a row-preserving column
-  chain over ``X``, is replaced by the other side widened with the columns
-  it still needs.  This single rule subsumes the paper's Rule (9) (removal
-  of the degenerated equi-joins introduced by FOR / IF compilation, Fig. 6)
-  and also eliminates the ``pre = item`` context joins of the STEP / COMP
-  rules, which is what turns Q1 into the *three*-fold self-join of Fig. 7/8.
-* Rules (11) and (15) — join push-down below and row-rank pull-up above
-  binary operators — are not needed once the collapse rule is in place and
-  are therefore not part of the default goal sequence (the collapse performs
-  the push-down's job in one step).
-
-All remaining rules ((1)-(8), (10), (12)-(14), (16), (17)) follow the paper.
+The isolation rules used to live here as hand-coded match/replace
+functions; they are now declarative :class:`~repro.core.rewrite.rule.Rule`
+objects in :mod:`repro.core.rewrite.rules` (pattern + guard + builder,
+validated at registration time).  This module keeps the old import surface
+alive: the ``(name, callable)`` rule tuples, the :class:`RuleContext`, and
+the :class:`RuleApplication` step records, all derived from the registry.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.algebra.dag import iter_nodes, parents_map
-from repro.algebra.operators import (
-    Attach,
-    Cross,
-    Distinct,
-    DocTable,
-    GroupAggregate,
-    Join,
-    LiteralTable,
-    Operator,
-    Project,
-    RowId,
-    RowRank,
-    Select,
-    Serialize,
+from repro.algebra.operators import Operator
+from repro.core.rewrite.context import RuleContext
+from repro.core.rewrite.rules import (
+    _ROW_PRESERVING,
+    CLEANUP_GROUP,
+    JOIN_GROUP,
+    RANK_GROUP,
+    REGISTRY,
 )
-from repro.algebra.predicates import ColumnRef, Comparison, Predicate
-from repro.core.properties import PlanProperties
+from repro.core.rewrite.trace import RewriteStep as RuleApplication
 
-#: Operators that neither filter nor multiply the rows flowing through them
-#: (with respect to a key column they carry) — the "safe" spine of the side
-#: a key-join collapse is allowed to drop.
-_ROW_PRESERVING = (Project, Attach, RowId, RowRank, Distinct, Serialize)
-
-
-@dataclass(frozen=True)
-class RuleApplication:
-    """A record of one applied rewrite step (for the isolation report)."""
-
-    rule: str
-    target: str
-    replacement: str
-
-
-class RuleContext:
-    """Premise-evaluation context shared by all rules for one rewrite step."""
-
-    def __init__(self, root: Operator, properties: PlanProperties):
-        self.root = root
-        self.properties = properties
-        self.parents = parents_map(root)
-        self._upstream_refs_memo: dict[int, frozenset[str]] = {}
-        self._compared_origins: Optional[set[tuple[int, str]]] = None
-        self._fresh = 0
-
-    # -- fresh names -------------------------------------------------------------
-
-    #: Process-wide counter: rule contexts are rebuilt after every rewrite
-    #: step, so a per-context counter would re-issue the same "fresh" names
-    #: step after step — and two widenings of one shared spine would then
-    #: collide on identical carry columns.
-    _fresh_columns = itertools.count(1)
-
-    def fresh_column(self, hint: str = "carry") -> str:
-        return f"{hint}_w{next(self._fresh_columns)}"
-
-    # -- column provenance ---------------------------------------------------------
-
-    def provenance(self, node: Operator, column: str) -> list[tuple[Operator, str]]:
-        """The provenance path of ``column``: ``[(node, name), ..., (origin, name)]``.
-
-        The path follows projections through their renamings, passes through
-        row-preserving unary operators and descends into the join/cross input
-        that provides the column.  It ends at the operator that *introduced*
-        the column (a leaf, ``@``, ``#`` or ``ϱ``).
-        """
-        path: list[tuple[Operator, str]] = []
-        current, name = node, column
-        while True:
-            path.append((current, name))
-            if isinstance(current, Project):
-                name = current.renaming()[name]
-                current = current.child
-                continue
-            if isinstance(current, (Select, Distinct, Serialize)):
-                current = current.children[0]
-                continue
-            if isinstance(current, (Attach, RowId, RowRank)):
-                if name == current.column:
-                    return path
-                current = current.child
-                continue
-            if isinstance(current, GroupAggregate):
-                if name == current.item_column:
-                    return path  # the aggregate value is introduced here
-                current = current.loop  # loop columns pass through untouched
-                continue
-            if isinstance(current, (Join, Cross)):
-                left, right = current.children
-                current = left if name in left.columns else right
-                continue
-            return path  # leaf (doc or literal table)
-
-    def origin(self, node: Operator, column: str) -> tuple[Operator, str]:
-        """The introducing operator and column name of ``column`` of ``node``."""
-        path = self.provenance(node, column)
-        return path[-1]
-
-    # -- structural references -------------------------------------------------------
-
-    def upstream_refs(self, node: Operator) -> frozenset[str]:
-        """Column names of ``node``'s output referenced structurally upstream.
-
-        This is a conservative superset of ``icols`` used to keep rewrites
-        that narrow an operator's output schema from breaking parents that
-        still *mention* a column (e.g. a dead projection item) even though
-        the column is not strictly required.
-        """
-        if id(node) in self._upstream_refs_memo:
-            return self._upstream_refs_memo[id(node)]
-        refs: set[str] = set()
-        for parent in self.parents.get(id(node), ()):  # direct parents
-            refs |= self._parent_refs(parent, node)
-        result = frozenset(refs)
-        self._upstream_refs_memo[id(node)] = result
-        return result
-
-    def _parent_refs(self, parent: Operator, child: Operator) -> set[str]:
-        child_columns = set(child.columns)
-        refs: set[str] = set()
-        if isinstance(parent, Project):
-            refs |= {old for _new, old in parent.items} & child_columns
-            return refs
-        if isinstance(parent, Select):
-            refs |= set(parent.predicate.columns()) & child_columns
-        elif isinstance(parent, Join):
-            refs |= set(parent.predicate.columns()) & child_columns
-        elif isinstance(parent, RowRank):
-            refs |= (set(parent.order_by) | set(parent.partition_by)) & child_columns
-        elif isinstance(parent, GroupAggregate):
-            structural = {parent.group_column, parent.unit_column}
-            if parent.value_column is not None:
-                structural.add(parent.value_column)
-            refs |= structural & child_columns
-        # Pass-through parents forward their own upstream references.
-        if isinstance(
-            parent,
-            (Select, Join, Cross, Distinct, Attach, RowId, RowRank, GroupAggregate, Serialize),
-        ):
-            refs |= self.upstream_refs(parent) & child_columns
-        return refs
-
-    def needed_columns(self, node: Operator) -> frozenset[str]:
-        """``icols`` widened by structural upstream references."""
-        return self.properties.icols(node) | self.upstream_refs(node)
-
-    def rank_compared_upstream(self, rank: "RowRank") -> bool:
-        """Does any σ/⋈ predicate in the plan compare this rank's column?
-
-        Positional predicates (``E[n]``) compile into a selection on the
-        sequence-position rank; for such a plan the rank is *not* a pure
-        ordering column, and rewrites that replace it by its ordering source
-        (rule (12)) would silently change which rows the selection keeps.
-        The scan over all predicates runs once per rewrite step (memoized).
-        """
-        if self._compared_origins is None:
-            from repro.algebra.dag import iter_nodes
-
-            compared: set[tuple[int, str]] = set()
-            for node in iter_nodes(self.root):
-                if isinstance(node, Select):
-                    bases = [node.child]
-                elif isinstance(node, Join):
-                    bases = list(node.children)
-                else:
-                    continue
-                for column in node.predicate.columns():
-                    base = next(b for b in bases if column in b.columns)
-                    origin_node, origin_column = self.origin(base, column)
-                    compared.add((id(origin_node), origin_column))
-            self._compared_origins = compared
-        return (id(rank), rank.column) in self._compared_origins
-
-
-#: A rule inspects one operator and either returns ``None`` (not applicable),
-#: a single replacement operator, or a substitution map ``{id(old): new}``
-#: covering several nodes at once (used by the key-join collapse to keep
-#: shared sub-plans shared while widening them).
+#: The old callable signature: ``rule(node, ctx) -> replacement | map | None``.
 RuleResult = Optional["Operator | dict[int, Operator]"]
 Rule = Callable[[Operator, RuleContext], RuleResult]
 
-
-# ---------------------------------------------------------------------------
-# House-cleaning rules (1) - (5), (12), (13), plus constant projection folding
-# ---------------------------------------------------------------------------
-
-
-def rule_prune_rowid(node: Operator, ctx: RuleContext) -> Optional[Operator]:
-    """(1)  #a(q) → q   when a is not needed upstream."""
-    if isinstance(node, RowId) and node.column not in ctx.needed_columns(node):
-        return node.child
-    return None
-
-
-def rule_prune_rank(node: Operator, ctx: RuleContext) -> Optional[Operator]:
-    """(2)  ϱa:⟨…⟩(q) → q   when a is not needed upstream."""
-    if isinstance(node, RowRank) and node.column not in ctx.needed_columns(node):
-        return node.child
-    return None
-
-
-def rule_prune_attach(node: Operator, ctx: RuleContext) -> Optional[Operator]:
-    """(3)  @a:c(q) → q   when a is not needed upstream."""
-    if isinstance(node, Attach) and node.column not in ctx.needed_columns(node):
-        return node.child
-    return None
-
-
-def rule_prune_project(node: Operator, ctx: RuleContext) -> Optional[Operator]:
-    """(4)  π narrows its item list to the columns needed upstream."""
-    if not isinstance(node, Project):
-        return None
-    needed = ctx.needed_columns(node)
-    kept = [item for item in node.items if item[0] in needed]
-    if kept and len(kept) < len(node.items):
-        return Project(node.child, kept)
-    return None
-
-
-def _constant_single_row(node: Operator) -> Optional[dict[str, object]]:
-    """If ``node`` is statically a one-row constant table, return its row."""
-    if isinstance(node, LiteralTable):
-        if len(node.rows) == 1:
-            return dict(zip(node.columns, node.rows[0]))
-        return None
-    if isinstance(node, Attach):
-        row = _constant_single_row(node.child)
-        if row is None:
-            return None
-        row = dict(row)
-        row[node.column] = node.value
-        return row
-    if isinstance(node, Project):
-        row = _constant_single_row(node.child)
-        if row is None:
-            return None
-        return {new: row[old] for new, old in node.items}
-    return None
-
-
-def rule_project_fuse(node: Operator, ctx: RuleContext) -> Optional[Operator]:
-    """Fuse adjacent projections: π_A(π_B(q)) → π_{A∘B}(q).
-
-    Not listed in Fig. 5 (the paper's plans are drawn after an implicit
-    fusion); it keeps the isolated plans readable and the extracted SQL free
-    of redundant column shuffles.  Only applied when the inner projection is
-    not shared by other parents.
-    """
-    if not isinstance(node, Project) or not isinstance(node.child, Project):
-        return None
-    inner = node.child
-    if len(ctx.parents.get(id(inner), ())) > 1:
-        return None
-    inner_map = inner.renaming()
-    fused = [(new, inner_map[old]) for new, old in node.items]
-    return Project(inner.child, fused)
-
-
-def rule_cross_to_attach(node: Operator, ctx: RuleContext) -> Optional[Operator]:
-    """(5)  q × (one-row constant table) → @…(q)."""
-    if not isinstance(node, Cross):
-        return None
-    for side, other in ((node.right, node.left), (node.left, node.right)):
-        row = _constant_single_row(side)
-        if row is None:
-            continue
-        result: Operator = other
-        for column, value in row.items():
-            result = Attach(result, column, value)
-        # Column order may differ from the original cross product; operators
-        # address columns by name, so no reordering projection is needed.
-        return result
-    return None
-
-
-def rule_rank_to_project(node: Operator, ctx: RuleContext) -> Optional[Operator]:
-    """(12)  ϱa:⟨b⟩(q) → π a:b, cols(q) (q)   (single ordering column).
-
-    Valid because the fragment never compares or joins on rank columns —
-    they are exclusively used as ordering criteria, and ``b`` orders rows
-    exactly like its rank does.
-    """
-    if isinstance(node, RowRank) and len(node.order_by) == 1:
-        if ctx.rank_compared_upstream(node):
-            # A positional selection tests this rank's *value*; substituting
-            # the ordering column would select by node rank instead of by
-            # sequence position.
-            return None
-        source = node.order_by[0]
-        items = [(node.column, source)] + [(c, c) for c in node.child.columns]
-        return Project(node.child, items)
-    return None
-
-
-def rule_rank_prune_const(node: Operator, ctx: RuleContext) -> Optional[Operator]:
-    """(13)  drop constant columns from a ϱ's ordering / partition criteria.
-
-    A constant partition column means the whole input is one partition, so
-    the partitioned rank degenerates to the global one.
-    """
-    if not isinstance(node, RowRank):
-        return None
-    const = ctx.properties.const(node.child)
-    kept = tuple(column for column in node.order_by if column not in const)
-    kept_partition = tuple(column for column in node.partition_by if column not in const)
-    if kept == node.order_by and kept_partition == node.partition_by:
-        return None
-    if kept:
-        return RowRank(node.child, node.column, kept, kept_partition)
-    # All ordering columns are constant: every row gets rank 1.
-    return Attach(node.child, node.column, 1)
-
-
-def rule_project_const_source(node: Operator, ctx: RuleContext) -> Optional[Operator]:
-    """Fold projection items whose source column is constant into attaches.
-
-    Not listed in Fig. 5 but in the spirit of rules (7)/(13); it removes the
-    last references to the constant ``iter`` / ``pos`` bookkeeping columns so
-    that rules (1)-(3) can fire upstream.
-    """
-    if not isinstance(node, Project):
-        return None
-    const = ctx.properties.const(node.child)
-    constant_items = [(new, old) for new, old in node.items if old in const]
-    if not constant_items or len(constant_items) == len(node.items):
-        return None
-    remaining = [(new, old) for new, old in node.items if old not in const]
-    result: Operator = Project(node.child, remaining)
-    for new, old in constant_items:
-        result = Attach(result, new, const[old])
-    return result
-
-
-# ---------------------------------------------------------------------------
-# δ rules (6) - (8)
-# ---------------------------------------------------------------------------
-
-
-def rule_remove_distinct(node: Operator, ctx: RuleContext) -> Optional[Operator]:
-    """(6)  δ(q) → q   when the output is de-duplicated further upstream."""
-    if isinstance(node, Distinct) and ctx.properties.is_set(node):
-        return node.child
-    return None
-
-
-def rule_shrink_distinct(node: Operator, ctx: RuleContext) -> Optional[Operator]:
-    """(7)  drop constant, not-needed columns underneath a δ."""
-    if not isinstance(node, Distinct) or isinstance(node.child, Project):
-        return None
-    const = set(ctx.properties.const(node.child))
-    needed = ctx.needed_columns(node)
-    drop = const - needed
-    keep = [column for column in node.child.columns if column not in drop]
-    if drop and keep and len(keep) < len(node.child.columns):
-        return Distinct(Project.keep(node.child, keep))
-    return None
-
-
-def _column_has_rowid_origin(ctx: RuleContext, node: Operator, column: str) -> bool:
-    origin_node, _origin_column = ctx.origin(node, column)
-    return isinstance(origin_node, (RowId,))
-
-
-def rule_introduce_distinct(node: Operator, ctx: RuleContext) -> Optional[Operator]:
-    """(8)  ■(q) → δ(π icols(■(q)))   for the equi-joins of FOR / IF compilation.
-
-    The join preserves the key established by ``#`` and therefore emits
-    unique rows; wrapping it in ``δ ∘ π`` is a no-op that provides the
-    upstream duplicate elimination needed to remove the δ operators buried
-    in the plan (via rule (6)).
-    """
-    if not isinstance(node, Join) or ctx.properties.is_set(node):
-        return None
-    if not node.predicate.is_single_column_equality():
-        return None
-    (a, b) = node.predicate.column_equalities()[0]
-    if not (
-        _column_has_rowid_origin(ctx, node, a) or _column_has_rowid_origin(ctx, node, b)
-    ):
-        return None
-    icols = ctx.needed_columns(node) & frozenset(node.columns)
-    if not icols or not ctx.properties.has_key_within(node, icols):
-        return None
-    ordered = [column for column in node.columns if column in icols]
-    return Distinct(Project.keep(node, ordered))
-
-
-# ---------------------------------------------------------------------------
-# (10)  join over two constant join columns → cross product
-# ---------------------------------------------------------------------------
-
-
-def rule_const_join_to_cross(node: Operator, ctx: RuleContext) -> Optional[Operator]:
-    """(10)  q1 ⋈a=b q2 → q1 × q2   when a and b are the same constant."""
-    if not isinstance(node, Join) or not node.predicate.is_single_column_equality():
-        return None
-    (a, b) = node.predicate.column_equalities()[0]
-    left, right = node.children
-    const_left = ctx.properties.const(left)
-    const_right = ctx.properties.const(right)
-    values = {}
-    for column in (a, b):
-        if column in left.columns and column in const_left:
-            values[column] = const_left[column]
-        elif column in right.columns and column in const_right:
-            values[column] = const_right[column]
-        else:
-            return None
-    if values[a] == values[b]:
-        return Cross(left, right)
-    return None
-
-
-# ---------------------------------------------------------------------------
-# ϱ movement rules (14), (16), (17)
-# ---------------------------------------------------------------------------
-
-
-def rule_rank_pull_up(node: Operator, ctx: RuleContext) -> Optional[Operator]:
-    """(14)  ■(ϱa:⟨b⟩(q)) → ϱa:⟨b⟩(■(q))   for ■ ∈ {σ, δ, @, #}."""
-    if not isinstance(node, (Select, Distinct, Attach, RowId)):
-        return None
-    child = node.children[0]
-    if not isinstance(child, RowRank):
-        return None
-    if isinstance(node, Select) and child.column in node.predicate.columns():
-        return None
-    if isinstance(node, (Attach, RowId)) and node.column == child.column:
-        return None
-    if isinstance(node, (Select, Distinct)) and ctx.rank_compared_upstream(child):
-        # A positional selection upstream tests this rank's value; filtering
-        # or de-duplicating *before* ranking would renumber the rows it sees.
-        return None
-    rebuilt = node.with_children([child.child])
-    return RowRank(rebuilt, child.column, child.order_by, child.partition_by)
-
-
-def rule_rank_pull_up_project(node: Operator, ctx: RuleContext) -> Optional[Operator]:
-    """(16)  π a,c1..cm (ϱa:⟨b⟩(q)) → ϱa:⟨b⟩(π b,c1..cm(q))   (renaming-aware)."""
-    if not isinstance(node, Project):
-        return None
-    child = node.child
-    if not isinstance(child, RowRank):
-        return None
-    rank_items = [(new, old) for new, old in node.items if old == child.column]
-    if len(rank_items) != 1:
-        return None
-    rank_name = rank_items[0][0]
-    other_items = [(new, old) for new, old in node.items if old != child.column]
-    # The ordering and partition columns must survive the projection
-    # (possibly renamed).
-    extended_items = list(other_items)
-
-    def thread(columns: tuple[str, ...]) -> Optional[list[str]]:
-        renamed_columns: list[str] = []
-        for column in columns:
-            renamed = next((new for new, old in extended_items if old == column), None)
-            if renamed is None:
-                if column in {new for new, _old in extended_items} or column == rank_name:
-                    return None
-                extended_items.append((column, column))
-                renamed = column
-            renamed_columns.append(renamed)
-        return renamed_columns
-
-    order_by = thread(child.order_by)
-    if order_by is None:
-        return None
-    partition_by = thread(child.partition_by)
-    if partition_by is None:
-        return None
-    if not extended_items:
-        return None
-    projected = Project(child.child, extended_items)
-    return RowRank(projected, rank_name, tuple(order_by), tuple(partition_by))
-
-
-def rule_rank_splice(node: Operator, ctx: RuleContext) -> Optional[Operator]:
-    """(17)  merge the ordering criteria of two adjacent ϱ operators.
-
-    A partitioned child rank expands into its partition columns followed by
-    its ordering columns: whenever the outer criteria preceding the child
-    rank pin one partition (the FOR/DDO compilation shapes), ordering by
-    ⟨partition, order⟩ coincides with ordering by the rank value.
-    """
-    if not isinstance(node, RowRank):
-        return None
-    child = node.child
-    if not isinstance(child, RowRank) or child.column not in node.order_by:
-        return None
-    expansion = tuple(child.partition_by) + tuple(child.order_by)
-    new_order: list[str] = []
-    for column in node.order_by:
-        if column == child.column:
-            new_order.extend(c for c in expansion if c not in new_order)
-        elif column not in new_order:
-            new_order.append(column)
-    if tuple(new_order) == node.order_by:
-        return None
-    return RowRank(child, node.column, tuple(new_order), node.partition_by)
-
-
-# ---------------------------------------------------------------------------
-# (9) generalised: key-join collapse
-# ---------------------------------------------------------------------------
-
-
-def _safe_spine(path: list[tuple[Operator, str]]) -> bool:
-    """True when every node strictly above the origin is row-preserving.
-
-    ``count``/``sum`` aggregations emit exactly one row per loop row (the
-    provenance path descends into the loop side), so they preserve rows;
-    ``avg`` drops empty groups and does not.
-    """
-    for op, _name in path[:-1]:
-        if isinstance(op, GroupAggregate):
-            if op.function == "avg":
-                return False
-            continue
-        if not isinstance(op, _ROW_PRESERVING):
-            return False
-    return True
-
-
-def _resolve_needed(
-    ctx: RuleContext, dropped: Operator, needed: list[str], anchor: Operator
-) -> Optional[dict[str, tuple[str, object]]]:
-    """Express the needed columns of the dropped side relative to ``anchor``.
-
-    Returns ``{column: ("const", value) | ("anchor", anchor_column)}`` or
-    ``None`` when some column is not recoverable.
-    """
-    resolution: dict[str, tuple[str, object]] = {}
-    for column in needed:
-        path = ctx.provenance(dropped, column)
-        origin_node, origin_column = path[-1]
-        if isinstance(origin_node, Attach):
-            resolution[column] = ("const", origin_node.value)
-            continue
-        anchored = next((name for op, name in path if op is anchor), None)
-        if anchored is not None:
-            resolution[column] = ("anchor", anchored)
-            continue
-        return None
-    return resolution
-
-
-def _widen_chain(
-    ctx: RuleContext,
-    kept: Operator,
-    kept_join_column: str,
-    anchor: Operator,
-    carries: dict[str, str],
-    collapsing_join: Optional[Operator] = None,
-) -> Optional[tuple[Operator, dict[int, Operator]]]:
-    """Thread ``carries`` (target name → anchor column) up the kept side's spine.
-
-    The spine is the provenance path of the kept side's join column; the
-    anchor lies on it by construction.  Operators other than π pass all of
-    their input columns through, so only the projections on the spine need to
-    be extended; everything above the first extended projection is rebuilt as
-    well.
-
-    Returns the widened kept root together with a substitution map
-    ``{id(old spine node): rebuilt node}``.  The caller applies that map to
-    the whole plan, so other references to the (possibly shared) spine nodes
-    keep pointing at one single widened copy — the extra columns are ignored
-    by those other consumers.  ``None`` is returned when a name clash or an
-    intolerant foreign parent makes the widening unsafe; the rule then simply
-    does not fire.
-    """
-    if not carries:
-        return kept, {}
-    path = ctx.provenance(kept, kept_join_column)
-    spine = [op for op, _name in path]
-    if anchor not in spine:
-        return None
-    anchor_index = spine.index(anchor)
-    #: Nodes whose parent-tolerance need not be checked: the collapsing join
-    #: itself (it is being replaced) and the spine nodes (rebuilt together).
-    exempt = {id(op) for op in spine}
-    if collapsing_join is not None:
-        exempt.add(id(collapsing_join))
-    #: Current name of each carried column while walking up the spine.
-    names: dict[str, str] = dict(carries)
-    substitutions: dict[int, Operator] = {}
-    current: Operator = anchor
-    changed = False
-    for position in range(anchor_index - 1, -1, -1):
-        op = spine[position]
-        below = spine[position + 1]
-        if isinstance(op, Project):
-            items = list(op.items)
-            taken = {new for new, _old in items}
-            extra: list[tuple[str, str]] = []
-            for target in carries:
-                # Always thread carries under fresh names: spine projections
-                # may be *shared* (other consumers see the widened copy), and
-                # surfacing the target name inside the spine would collide
-                # when a second widening carries the same column up a sibling
-                # branch.  Only the unshared top projection below surfaces
-                # the target names.
-                output = ctx.fresh_column(target)
-                while output in taken:
-                    output = ctx.fresh_column(target)
-                taken.add(output)
-                extra.append((output, names[target]))
-                names[target] = output
-            rebuilt: Operator = Project(current if changed else below, items + extra)
-            changed = True
-        elif not changed:
-            current = op
-            continue
-        else:
-            if isinstance(op, (Join, Cross)):
-                other = next(child for child in op.children if child is not below)
-                if set(other.columns) & set(names.values()):
-                    return None
-            children = [current if child is below else child for child in op.children]
-            rebuilt = op.with_children(children)
-        if not _foreign_parents_tolerate(ctx, op, set(names.values()), exempt):
-            return None
-        substitutions[id(op)] = rebuilt
-        current = rebuilt
-    # Surface each carried column under its target name next to the kept columns.
-    if all(names[target] == target for target in carries) and all(
-        target in current.columns for target in carries
-    ):
-        return current, substitutions
-    items = [(column, column) for column in kept.columns]
-    for target in carries:
-        if names[target] not in current.columns:
-            return None
-        items.append((target, names[target]))
-    return Project(current, items), substitutions
-
-
-def _foreign_parents_tolerate(
-    ctx: RuleContext, node: Operator, added_columns: set[str], exempt: set[int]
-) -> bool:
-    """Check that parents outside the widened spine can absorb extra columns.
-
-    Projections, selections, attaches and the like simply ignore columns they
-    do not mention; joins and cross products additionally require the added
-    columns not to clash with their other input; duplicate eliminations stay
-    correct because the added columns are functionally dependent on the key
-    column the spine already carries.  Parents listed in ``exempt`` (the
-    collapsing join and the spine itself) are rebuilt anyway and skipped.
-    """
-    for parent in ctx.parents.get(id(node), ()):  # direct parents only
-        if id(parent) in exempt:
-            continue
-        if isinstance(parent, (Join, Cross)):
-            sibling = next((c for c in parent.children if c is not node), None)
-            if sibling is not None and set(sibling.columns) & added_columns:
-                return False
-    return True
-
-
-def rule_key_join_collapse(node: Operator, ctx: RuleContext) -> RuleResult:
-    """(9*)  collapse a join on a column equality stemming from the same key.
-
-    ``A ⋈ a=b ∧ rest B`` is replaced by the *kept* side widened with the
-    columns it still needs from the *dropped* side (with ``rest`` — if any —
-    re-applied as a selection over the widened result) when
-
-    * the two pivot columns trace back to the same column ``c`` of the same
-      operator ``X`` (the anchor) with ``{c}`` a candidate key of ``X``,
-    * the dropped side is a row-preserving column chain over ``X`` (so each
-      kept row matches exactly the dropped row it originated from), and
-    * every dropped-side column still needed upstream — including the ones
-      the residual conjuncts mention — is either a constant or readable from
-      ``X``'s output (it is then threaded up the kept side's spine).
-
-    This subsumes the paper's Rule (9) and removes the FOR / IF equi-joins
-    (Fig. 6) as well as the ``pre = item`` context joins against ``doc``.
-    The multi-conjunct form is what lets *value joins* (Section III-C)
-    collapse: their iteration-bookkeeping equality is the pivot and the
-    value comparison survives as an ordinary selection over the bundle.
-    """
-    if not isinstance(node, Join):
-        return None
-    for pivot in node.predicate.conjuncts:
-        if not pivot.is_column_equality():
-            continue
-        result = _try_key_join_collapse(node, ctx, pivot)
-        if result is not None:
-            return result
-    return None
-
-
-def _try_key_join_collapse(
-    node: Join, ctx: RuleContext, pivot: Comparison
-) -> RuleResult:
-    a = pivot.left.name  # type: ignore[union-attr]
-    b = pivot.right.name  # type: ignore[union-attr]
-    residual = [c for c in node.predicate.conjuncts if c is not pivot]
-    left, right = node.children
-    if a in right.columns:
-        a, b = b, a
-    if a not in left.columns or b not in right.columns:
-        return None
-    left_path = ctx.provenance(left, a)
-    right_path = ctx.provenance(right, b)
-    left_origin = left_path[-1]
-    right_origin = right_path[-1]
-    if left_origin[0] is not right_origin[0] or left_origin[1] != right_origin[1]:
-        return None
-    anchor, anchor_column = left_origin
-    anchor_properties_keys = _anchor_keys(anchor)
-    if frozenset({anchor_column}) not in anchor_properties_keys:
-        return None
-    needed_all = ctx.needed_columns(node)
-    for conjunct in residual:
-        needed_all |= conjunct.columns()
-    for dropped, kept, dropped_path, kept_column in (
-        (right, left, right_path, a),
-        (left, right, left_path, b),
-    ):
-        if not _safe_spine(dropped_path):
-            continue
-        needed = [
-            column
-            for column in dropped.columns
-            if column in needed_all and column not in kept.columns
-        ]
-        resolution = _resolve_needed(ctx, dropped, needed, anchor)
-        if resolution is None:
-            continue
-        carries = {
-            column: source
-            for column, (kind, source) in resolution.items()
-            if kind == "anchor"
-        }
-        widening = _widen_chain(ctx, kept, kept_column, anchor, carries, collapsing_join=node)  # type: ignore[arg-type]
-        if widening is None:
-            continue
-        widened, substitutions = widening
-        result: Operator = widened
-        for column, (kind, value) in resolution.items():
-            if kind == "const" and column not in result.columns:
-                result = Attach(result, column, value)
-        if residual:
-            result = Select(result, Predicate(residual))
-        replacements: dict[int, Operator] = dict(substitutions)
-        replacements[id(node)] = result
-        return replacements
-    return None
-
-
-def _anchor_keys(anchor: Operator) -> frozenset[frozenset[str]]:
-    """Candidate keys of the anchor operator derivable without full inference."""
-    keys: set[frozenset[str]] = set()
-    if isinstance(anchor, DocTable):
-        keys.add(frozenset({"pre"}))
-    if isinstance(anchor, RowId):
-        keys.add(frozenset({anchor.column}))
-    if isinstance(anchor, LiteralTable):
-        for index, column in enumerate(anchor.columns):
-            values = [row[index] for row in anchor.rows]
-            if len(values) == len(set(values)):
-                keys.add(frozenset({column}))
-    return frozenset(keys)
-
-
-#: House-cleaning rules, applied throughout all goals.
-CLEANUP_RULES: tuple[tuple[str, Rule], ...] = (
-    ("project_fuse", rule_project_fuse),
-    ("prune_project(4)", rule_prune_project),
-    ("prune_rowid(1)", rule_prune_rowid),
-    ("prune_rank(2)", rule_prune_rank),
-    ("prune_attach(3)", rule_prune_attach),
-    ("cross_to_attach(5)", rule_cross_to_attach),
-    ("const_join_to_cross(10)", rule_const_join_to_cross),
-    ("project_const_source", rule_project_const_source),
+#: The legacy ``(name, callable)`` groups, derived from the declarative
+#: registry — ``rule.apply`` has exactly the old callables' contract.
+CLEANUP_RULES: tuple[tuple[str, Rule], ...] = tuple(
+    (rule.name, rule.apply) for rule in CLEANUP_GROUP
+)
+RANK_RULES: tuple[tuple[str, Rule], ...] = tuple(
+    (rule.name, rule.apply) for rule in RANK_GROUP
+)
+JOIN_RULES: tuple[tuple[str, Rule], ...] = tuple(
+    (rule.name, rule.apply) for rule in JOIN_GROUP
 )
 
-#: Goal ϱ: establish (at most) a single row-rank operator in the plan tail.
-RANK_RULES: tuple[tuple[str, Rule], ...] = (
-    ("rank_prune_const(13)", rule_rank_prune_const),
-    ("rank_to_project(12)", rule_rank_to_project),
-    ("rank_splice(17)", rule_rank_splice),
-    ("rank_pull_up(14)", rule_rank_pull_up),
-    ("rank_pull_up_project(16)", rule_rank_pull_up_project),
-)
-
-#: Goals δ and ⋈: single δ in the tail, joins pushed down / removed.
-JOIN_RULES: tuple[tuple[str, Rule], ...] = (
-    ("introduce_distinct(8)", rule_introduce_distinct),
-    ("remove_distinct(6)", rule_remove_distinct),
-    ("shrink_distinct(7)", rule_shrink_distinct),
-    ("key_join_collapse(9*)", rule_key_join_collapse),
-)
+__all__ = [
+    "CLEANUP_RULES",
+    "JOIN_RULES",
+    "RANK_RULES",
+    "REGISTRY",
+    "Rule",
+    "RuleApplication",
+    "RuleContext",
+    "RuleResult",
+    "_ROW_PRESERVING",
+]

@@ -143,6 +143,19 @@ class CompilationResult:
         return tuple(declaration.name for declaration in self.external_variables)
 
     @property
+    def rewrite_trace(self):
+        """The isolation run as an immutable provenance trace.
+
+        A :class:`~repro.core.rewrite.trace.RewriteTrace`: the ordered
+        applied steps, the rejected applications, the operator counts, and
+        the driver that produced them.  ``rewrite_trace.render()`` is the
+        human-readable account (see the README example);
+        ``rewrite_trace.rules_fired()`` the per-rule histogram the
+        differential tests pin.
+        """
+        return self.isolation_report.trace()
+
+    @property
     def auto_engine(self) -> str:
         """The engine the ``"auto"`` configuration dispatches to.
 
